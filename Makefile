@@ -1,0 +1,46 @@
+# Development targets for the logpopt repository.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz vet fmt examples reproduce clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the schedule validator.
+fuzz:
+	$(GO) test -fuzz=FuzzValidate -fuzztime=30s ./internal/schedule/
+	$(GO) test -fuzz=FuzzValidatorConsistency -fuzztime=30s ./internal/schedule/
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+fmt:
+	gofmt -w .
+
+# Run every example once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mpi-collectives
+	$(GO) run ./examples/allreduce-stencil
+	$(GO) run ./examples/streaming-pipeline
+	$(GO) run ./examples/distributed-sum
+
+# Regenerate every paper figure and theorem table (EXPERIMENTS.md's source).
+reproduce:
+	$(GO) run ./cmd/logpbench -all
+
+clean:
+	$(GO) clean ./...

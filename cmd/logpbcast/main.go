@@ -1,0 +1,102 @@
+// Command logpbcast builds and prints optimal LogP broadcast artifacts:
+// the broadcast tree, the event schedule, a Gantt activity chart, and the
+// closed-form quantities B(P) and P(t).
+//
+// Usage:
+//
+//	logpbcast -P 8 -L 6 -o 2 -g 4            # tree + gantt (Figure 1)
+//	logpbcast -P 64 -L 6 -o 2 -g 4 -quiet    # numbers only
+//	logpbcast -P 10 -L 3 -postal -k 8        # optimal k-item broadcast
+//	logpbcast -L 3 -postal -t 11             # P(t) and the tree for it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	logpopt "logpopt"
+)
+
+func main() {
+	var (
+		p      = flag.Int("P", 8, "number of processors")
+		l      = flag.Int64("L", 6, "latency")
+		o      = flag.Int64("o", 2, "overhead")
+		g      = flag.Int64("g", 4, "gap")
+		postal = flag.Bool("postal", false, "postal model (forces o=0, g=1)")
+		k      = flag.Int("k", 1, "number of items (k>1 requires -postal and P-1 = P(t))")
+		t      = flag.Int64("t", -1, "report P(t) for this time bound instead of broadcasting")
+		quiet  = flag.Bool("quiet", false, "print only the headline numbers")
+		svg    = flag.Bool("svg", false, "emit an SVG timeline instead of the ASCII chart")
+		dot    = flag.Bool("dot", false, "emit the broadcast tree as GraphViz and exit")
+	)
+	flag.Parse()
+
+	var m logpopt.Machine
+	if *postal {
+		m = logpopt.Postal(*p, *l)
+	} else {
+		var err error
+		m, err = logpopt.NewMachine(*p, *l, *o, *g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *t >= 0 {
+		fmt.Printf("%v: P(%d) = %d\n", m, *t, logpopt.Reachable(m, *t, 0))
+		return
+	}
+
+	if *k > 1 {
+		if !*postal {
+			fmt.Fprintln(os.Stderr, "k-item broadcast requires -postal")
+			os.Exit(2)
+		}
+		seq := logpopt.NewSeq(int(*l))
+		tt := seq.InvF(int64(*p - 1))
+		if seq.F(tt) != int64(*p-1) {
+			fmt.Fprintf(os.Stderr, "P-1 = %d is not of the form P(t); nearest: P-1 = %d (t=%d)\n",
+				*p-1, seq.F(tt), tt)
+			os.Exit(2)
+		}
+		bounds := logpopt.KItemBoundsFor(int(*l), *p, int64(*k))
+		_, s, err := logpopt.KItemOptimal(int(*l), tt, *k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%v: k=%d  lower bound %d, single-sending bound %d, achieved %d\n",
+			m, *k, bounds.Lower, bounds.SingleSending, s.LastRecv())
+		if !*quiet {
+			fmt.Println()
+			fmt.Println(logpopt.ReceptionTable(s))
+		}
+		return
+	}
+
+	fmt.Printf("%v: B(P) = %d\n", m, logpopt.BroadcastTime(m, m.P))
+	if *quiet {
+		return
+	}
+	tree := logpopt.OptimalBroadcastTree(m, m.P)
+	if *dot {
+		fmt.Print(tree.DOT("broadcast"))
+		return
+	}
+	s := logpopt.BroadcastSchedule(m, 0)
+	if vs := logpopt.ValidateBroadcastSchedule(s, logpopt.BroadcastOrigins(0)); len(vs) != 0 {
+		fmt.Fprintln(os.Stderr, "internal error:", vs[0])
+		os.Exit(1)
+	}
+	if *svg {
+		fmt.Print(logpopt.TimelineSVG(s))
+		return
+	}
+	fmt.Println("\nOptimal broadcast tree (node @availability):")
+	fmt.Print(tree.String())
+	fmt.Println("\nActivity:")
+	fmt.Print(logpopt.Gantt(s))
+}

@@ -1,0 +1,94 @@
+// Command logpbench regenerates the paper's figures and verifies its
+// theorems, printing the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	logpbench -exp F1        # one experiment (F1..F6, T22, T31, T33, T41a, T41b, L51, CMP)
+//	logpbench -all           # everything
+//	logpbench -list          # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logpopt/internal/bench"
+)
+
+type experiment struct {
+	id, desc string
+	run      func() (string, error)
+}
+
+func experiments() []experiment {
+	tbl := func(f func() *bench.Table) func() (string, error) {
+		return func() (string, error) { return f().String(), nil }
+	}
+	return []experiment{
+		{"F1", "Figure 1: optimal broadcast tree + activity, P=8 L=6 o=2 g=4", bench.Figure1},
+		{"F2", "Figure 2: T9, block-cyclic words, 8-item schedule (L=3, P-1=9)", bench.Figure2},
+		{"F3", "Figure 3: block transmission digraph (L=3, P-1=41)", bench.Figure3},
+		{"F4", "Figure 4: size-7 block reception table (L=5, k=16)", bench.Figure4},
+		{"F5", "Figure 5: 14-item broadcast, L=3, P-1=13, finish 24", bench.Figure5},
+		{"F6", "Figure 6: optimal summation, t=28, P=8, L=5 g=4 o=2", bench.Figure6},
+		{"T22", "Theorem 2.2: P(t) = f_t sweep", tbl(func() *bench.Table { return bench.Theorem22(10, 24) })},
+		{"T31", "Theorems 3.1/3.6/3.8: k-item bounds vs schedulers", tbl(bench.KItemTable)},
+		{"T31X", "Theorem 3.1 tightness by exhaustive search (tiny instances)", tbl(bench.TightnessTable)},
+		{"T33", "Theorems 3.3/3.4: continuous broadcast solvability per (L,t)", tbl(func() *bench.Table { return bench.ContinuousTable(2) })},
+		{"GEN", "Beyond the paper: general-P block-cyclic solvability", tbl(func() *bench.Table { return bench.GeneralPTable(60) })},
+		{"T41a", "Section 4.1: all-to-all bound", tbl(bench.AllToAllTable)},
+		{"T41b", "Theorem 4.1: combining broadcast", tbl(func() *bench.Table { return bench.CombineTable(5) })},
+		{"L51", "Lemma 5.1: summation capacity and execution", tbl(bench.SummationTable)},
+		{"EXT", "Extensions: scatter/gather/prefix scan", tbl(bench.ExtensionsTable)},
+		{"CMP", "Baselines: optimal vs binomial/binary/flat/linear, k-item, combining", func() (string, error) {
+			out := bench.SingleItemTable().String() + "\n" +
+				bench.KItemBaselineTable().String() + "\n" +
+				bench.ReduceVsCombineTable().String()
+			return out, nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+	exps := experiments()
+	switch {
+	case *list:
+		for _, e := range exps {
+			fmt.Printf("%-5s %s\n", e.id, e.desc)
+		}
+	case *all:
+		for _, e := range exps {
+			fmt.Printf("### %s: %s\n\n", e.id, e.desc)
+			out, err := e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+	case *exp != "":
+		for _, e := range exps {
+			if e.id == *exp {
+				out, err := e.run()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+					os.Exit(1)
+				}
+				fmt.Println(out)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,97 @@
+// Command logpsched compiles a named collective operation for a LogP
+// machine into a schedule, emitted as versioned JSON on stdout (or rendered
+// as text with -render). It makes the library's schedules consumable from
+// other languages and tools.
+//
+// Usage:
+//
+//	logpsched -op broadcast -P 64 -L 6 -o 2 -g 4 > bcast.json
+//	logpsched -op kitem -P 10 -L 3 -k 8 -render table
+//	logpsched -op scan -P 9 -L 3 -render svg > scan.svg
+//
+// Operations: broadcast, alltoall, personalized, scatter, gather, reduce,
+// scan, kitem (postal only), continuous (postal only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	logpopt "logpopt"
+)
+
+func main() {
+	var (
+		op     = flag.String("op", "broadcast", "collective to compile (see doc)")
+		p      = flag.Int("P", 8, "number of processors")
+		l      = flag.Int64("L", 6, "latency")
+		o      = flag.Int64("o", 2, "overhead")
+		g      = flag.Int64("g", 4, "gap")
+		postal = flag.Bool("postal", false, "postal model (forces o=0, g=1)")
+		k      = flag.Int("k", 1, "items for kitem/alltoall/continuous")
+		render = flag.String("render", "json", "output: json, gantt, table, svg")
+	)
+	flag.Parse()
+
+	var m logpopt.Machine
+	var err error
+	if *postal || *op == "kitem" || *op == "continuous" {
+		m = logpopt.Postal(*p, *l)
+	} else {
+		m, err = logpopt.NewMachine(*p, *l, *o, *g)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var s *logpopt.Schedule
+	switch *op {
+	case "broadcast":
+		s = logpopt.BroadcastSchedule(m, 0)
+	case "alltoall":
+		s = logpopt.AllToAllSchedule(m, *k)
+	case "personalized":
+		s = logpopt.PersonalizedSchedule(m)
+	case "scatter":
+		s = logpopt.ScatterSchedule(m)
+	case "gather":
+		s = logpopt.GatherSchedule(m)
+	case "reduce":
+		s = logpopt.ReduceSchedule(m, m.P)
+	case "scan":
+		s = logpopt.ScanSchedule(m, m.P)
+	case "kitem":
+		_, s, err = logpopt.KItemOptimalGeneral(m.L, m.P, *k)
+		if err != nil {
+			fail(fmt.Errorf("%w (try the greedy scheduler in the library for this instance)", err))
+		}
+	case "continuous":
+		_, s, err = logpopt.ContinuousSolveGeneral(int(m.L), m.P-1, *k)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown op %q", *op))
+	}
+
+	switch *render {
+	case "json":
+		if err := s.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "gantt":
+		fmt.Print(logpopt.Gantt(s))
+	case "table":
+		fmt.Print(logpopt.ReceptionTable(s))
+	case "svg":
+		fmt.Print(logpopt.TimelineSVG(s))
+	default:
+		fail(fmt.Errorf("unknown render %q", *render))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "logpsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command logpsum builds and runs optimal LogP summation schedules
+// (Section 5 of the paper).
+//
+// Usage:
+//
+//	logpsum -P 8 -L 5 -o 2 -g 4 -t 28     # Figure 6: plan + chart + run
+//	logpsum -P 64 -L 6 -o 2 -g 4 -n 5000  # minimum time to sum n operands
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	logpopt "logpopt"
+)
+
+func main() {
+	var (
+		p     = flag.Int("P", 8, "number of processors")
+		l     = flag.Int64("L", 5, "latency")
+		o     = flag.Int64("o", 2, "overhead")
+		g     = flag.Int64("g", 4, "gap")
+		t     = flag.Int64("t", 28, "deadline (cycles)")
+		n     = flag.Int64("n", 0, "if > 0, find the minimum time to sum n operands instead")
+		quiet = flag.Bool("quiet", false, "print only the headline numbers")
+	)
+	flag.Parse()
+	m, err := logpopt.NewMachine(*p, *l, *o, *g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *n > 0 {
+		tt := logpopt.SummationTimeFor(m, *n)
+		cap, tr := logpopt.SummationCapacity(m, tt)
+		fmt.Printf("%v: summing %d operands takes %d cycles (capacity %d on %d processors)\n",
+			m, *n, tt, cap, tr.P())
+		return
+	}
+
+	cap, _ := logpopt.SummationCapacity(m, *t)
+	pl, err := logpopt.BuildSummation(m, *t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%v: n(%d) = %d operands on %d processors\n", m, *t, cap, pl.Tree.P())
+
+	// Execute with 1..n and check against the closed form.
+	ops := make([]int64, pl.N)
+	var want int64
+	for i := range ops {
+		ops[i] = int64(i + 1)
+		want += ops[i]
+	}
+	got, err := logpopt.ExecuteSummation(pl, ops, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	status := "ok"
+	if got != want {
+		status = "MISMATCH"
+	}
+	fmt.Printf("executed: sum(1..%d) = %d (%s)\n", pl.N, got, status)
+	if *quiet {
+		return
+	}
+	fmt.Println("\nComputation schedule (+ add, R/r receive, S/s send):")
+	fmt.Print(logpopt.Gantt(pl.Schedule()))
+	fmt.Println("\nCommunication tree (reversed optimal broadcast on L+1):")
+	fmt.Print(pl.Tree.String())
+}

@@ -1,0 +1,120 @@
+package logpopt_test
+
+import (
+	"fmt"
+
+	logpopt "logpopt"
+)
+
+// Example reproduces the headline number of the paper's Figure 1: the
+// optimal broadcast time for 8 processors with L=6, o=2, g=4.
+func Example() {
+	m := logpopt.ProfilePaperFig1
+	fmt.Println(logpopt.BroadcastTime(m, m.P))
+	// Output: 24
+}
+
+// ExampleOptimalBroadcastTree shows the availability times of the optimal
+// broadcast tree — the labels drawn in the paper's Figure 1.
+func ExampleOptimalBroadcastTree() {
+	m := logpopt.ProfilePaperFig1
+	tree := logpopt.OptimalBroadcastTree(m, m.P)
+	for _, n := range tree.Nodes {
+		fmt.Print(n.Label, " ")
+	}
+	fmt.Println()
+	// Output: 0 10 14 18 20 22 24 24
+}
+
+// ExampleReachable evaluates Theorem 2.2: in the postal model, the number of
+// processors reachable in t steps is the generalized Fibonacci number f_t.
+func ExampleReachable() {
+	m := logpopt.Postal(2, 3) // P is irrelevant for Reachable
+	for t := int64(0); t <= 11; t++ {
+		fmt.Print(logpopt.Reachable(m, t, 0), " ")
+	}
+	fmt.Println()
+	// Output: 1 1 1 2 3 4 6 9 13 19 28 41
+}
+
+// ExampleKItemBoundsFor computes the bounds of the paper's running example:
+// broadcasting k=8 items to P-1=9 processors with L=3.
+func ExampleKItemBoundsFor() {
+	b := logpopt.KItemBoundsFor(3, 10, 8)
+	fmt.Println(b.Lower, b.SingleSending, b.Upper)
+	// Output: 15 17 19
+}
+
+// ExampleKItemOptimal builds Figure 2's complete 8-item broadcast, which
+// finishes at the single-sending optimum, time 17.
+func ExampleKItemOptimal() {
+	_, s, err := logpopt.KItemOptimal(3, 7, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.LastRecv())
+	// Output: 17
+}
+
+// ExampleCombineRun performs Theorem 4.1's combining broadcast: 9 processors
+// (L=3) all learn the global sum in 7 steps.
+func ExampleCombineRun() {
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got, err := logpopt.CombineRun(3, 7, vals, func(a, b int) int { return a + b })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(got[0], got[8])
+	// Output: 45 45
+}
+
+// ExampleBuildSummation reproduces Figure 6's capacity: the machine
+// (P=8, L=5, o=2, g=4) sums 79 operands in 28 cycles.
+func ExampleBuildSummation() {
+	pl, err := logpopt.BuildSummation(logpopt.ProfilePaperFig6, 28)
+	if err != nil {
+		panic(err)
+	}
+	ops := make([]int, pl.N)
+	total := 0
+	for i := range ops {
+		ops[i] = i + 1
+		total += ops[i]
+	}
+	got, err := logpopt.ExecuteSummation(pl, ops, func(a, b int) int { return a + b })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pl.N, got == total)
+	// Output: 79 true
+}
+
+// ExampleAllToAllSchedule verifies Section 4.1's optimum on a postal machine.
+func ExampleAllToAllSchedule() {
+	m := logpopt.Postal(9, 3)
+	s := logpopt.AllToAllSchedule(m, 1)
+	fmt.Println(s.LastRecv(), logpopt.AllToAllLowerBound(m, 1))
+	// Output: 10 10
+}
+
+// ExampleScanRun runs the two-sweep prefix scan (an extension beyond the
+// paper) on 9 postal processors; the root's rank is 0 so its inclusive
+// prefix is its own value.
+func ExampleScanRun() {
+	m := logpopt.Postal(9, 3)
+	vals := []int{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	res, T, err := logpopt.ScanRun(m, vals, func(a, b int) int { return a + b })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res[0], T)
+	// Output: 1 14
+}
+
+// ExampleNewSeq prints the generalized Fibonacci sequence for L=3 and its
+// growth rate.
+func ExampleNewSeq() {
+	s := logpopt.NewSeq(3)
+	fmt.Println(s.F(7), s.InvF(9), s.KStar(10))
+	// Output: 9 7 2
+}

@@ -1,0 +1,43 @@
+// Quickstart: build the optimal LogP broadcast for a small machine, verify
+// it against the model's rules, visualize it, and compare it with the
+// binomial tree a traditional message-passing library would use.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	logpopt "logpopt"
+)
+
+func main() {
+	// Figure 1's machine: 8 processors, L=6, o=2, g=4.
+	m := logpopt.ProfilePaperFig1
+	fmt.Printf("machine: %v\n", m)
+
+	// The optimal broadcast time and tree (Section 2 of the paper).
+	fmt.Printf("optimal broadcast time B(P) = %d cycles\n", logpopt.BroadcastTime(m, m.P))
+	tree := logpopt.OptimalBroadcastTree(m, m.P)
+	fmt.Println("\noptimal broadcast tree (node @ time the datum arrives):")
+	fmt.Print(tree.String())
+
+	// Expand the tree into a concrete schedule and check it against an
+	// independent validator (latency, gap, overhead, capacity, coverage).
+	s := logpopt.BroadcastSchedule(m, 0)
+	if vs := logpopt.ValidateBroadcastSchedule(s, logpopt.BroadcastOrigins(0)); len(vs) != 0 {
+		log.Fatalf("schedule invalid: %v", vs[0])
+	}
+	fmt.Println("\nschedule validated; activity chart:")
+	fmt.Print(logpopt.Gantt(s))
+
+	// Replay the schedule on the discrete-event simulator.
+	_, rep := logpopt.SimRun(s, logpopt.SimStrict, logpopt.BroadcastOrigins(0))
+	fmt.Printf("\nsimulated finish: %d cycles (violations: %d)\n", rep.Finish, len(rep.Violations))
+
+	// How much does optimality buy over the classical binomial tree?
+	bin := logpopt.BaselineTreeTime(logpopt.BinomialTree(m, m.P))
+	fmt.Printf("binomial tree would take %d cycles (%.0f%% slower)\n",
+		bin, 100*float64(bin-rep.Finish)/float64(rep.Finish))
+}

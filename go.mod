@@ -1,0 +1,3 @@
+module logpopt
+
+go 1.22

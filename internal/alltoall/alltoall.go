@@ -1,0 +1,246 @@
+// Package alltoall implements Section 4.1 of the paper: optimal all-to-all
+// broadcast, its k-item extension, and all-to-all personalized communication.
+//
+// Each of the P processors holds a data item that every processor must learn.
+// Since each processor must receive P-1 items and the first cannot arrive
+// before L+2o, any schedule needs at least L + 2o + (P-2)g time. The optimal
+// schedule has processor i send its item to processors i+1, ..., i+P-1
+// (mod P), in that order, at times 0, g, ..., (P-2)g; every processor then
+// receives items at exactly L+2o, L+2o+g, ..., L+2o+(P-2)g. The k-item
+// extension repeats the round k times, achieving L + 2o + (k(P-1)-1)g.
+//
+// In the postal model (o = 0) the schedule meets the bound exactly. For
+// machines with o > 0, a processor that is still sending when messages start
+// arriving may find an arrival landing inside a send overhead; following the
+// LogP convention that an arrived message waits at the receiver until the
+// processor can engage it, receptions are placed greedily at the earliest
+// legal instant. When the arrival phase is compatible (e.g. whenever
+// (L+o) mod g lies in [o, g-o]) the bound is met exactly; otherwise the
+// schedule finishes within one gap of it (reported by the bench harness).
+package alltoall
+
+import (
+	"fmt"
+	"sort"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// LowerBound returns the all-to-all broadcast lower bound
+// L + 2o + (k(P-1)-1)g from Section 4.1.
+func LowerBound(m logp.Machine, k int) logp.Time {
+	return m.L + 2*m.O + logp.Time(int64(k)*int64(m.P-1)-1)*m.G
+}
+
+// Item returns the item id used for source processor src's j-th item
+// (0 <= j < k).
+func Item(m logp.Machine, src, j int) int { return j*m.P + src }
+
+// Origins returns the origin map for a k-item all-to-all on m: item
+// Item(i, j) starts at processor i at time 0.
+func Origins(m logp.Machine, k int) map[int]schedule.Origin {
+	og := make(map[int]schedule.Origin, m.P*k)
+	for i := 0; i < m.P; i++ {
+		for j := 0; j < k; j++ {
+			og[Item(m, i, j)] = schedule.Origin{Proc: i, Time: 0}
+		}
+	}
+	return og
+}
+
+// arrival is a message awaiting reception placement at one processor.
+type arrival struct {
+	at   logp.Time
+	item int
+	from int
+}
+
+// placeRecvs appends recv events for the given arrivals at processor p,
+// greedily at the earliest time that respects the receive gap and does not
+// overlap the processor's send overheads (sendBusy must be sorted start
+// times of o-length busy intervals).
+func placeRecvs(s *schedule.Schedule, p int, arrivals []arrival, sendBusy []logp.Time) {
+	m := s.M
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].at != arrivals[j].at {
+			return arrivals[i].at < arrivals[j].at
+		}
+		return arrivals[i].item < arrivals[j].item
+	})
+	lastStart := logp.Time(-1) << 40
+	busyEnd := logp.Time(-1) << 40
+	for _, a := range arrivals {
+		t := a.at
+		for {
+			if t < lastStart+m.G {
+				t = lastStart + m.G
+			}
+			if t < busyEnd {
+				t = busyEnd
+			}
+			// Skip send overheads [b, b+o) that overlap [t, t+o).
+			moved := false
+			if m.O > 0 {
+				i := sort.Search(len(sendBusy), func(i int) bool { return sendBusy[i]+m.O > t })
+				if i < len(sendBusy) && sendBusy[i] < t+m.O {
+					t = sendBusy[i] + m.O
+					moved = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		s.Recv(p, t, a.item, a.from)
+		lastStart = t
+		busyEnd = t + m.O
+	}
+}
+
+// Schedule returns the k-item all-to-all broadcast schedule: processor i's
+// r-th transmission (r = 0..k(P-1)-1) goes to processor i+1+(r mod (P-1))
+// and carries its floor(r/(P-1))-th item, at time r*stride where stride is
+// max(g, o). Receptions are placed greedily (see the package comment); in
+// the postal model the schedule is exactly the paper's optimal one.
+func Schedule(m logp.Machine, k int) *schedule.Schedule {
+	s := &schedule.Schedule{M: m}
+	if m.P < 2 || k < 1 {
+		return s
+	}
+	str := core.SendStride(m)
+	arrivals := make([][]arrival, m.P)
+	sendBusy := make([][]logp.Time, m.P)
+	for i := 0; i < m.P; i++ {
+		r := 0
+		for j := 0; j < k; j++ {
+			for d := 1; d < m.P; d++ {
+				at := logp.Time(r) * str
+				to := (i + d) % m.P
+				item := Item(m, i, j)
+				s.Send(i, at, item, to)
+				sendBusy[i] = append(sendBusy[i], at)
+				arrivals[to] = append(arrivals[to], arrival{at: at + m.O + m.L, item: item, from: i})
+				r++
+			}
+		}
+	}
+	for p := 0; p < m.P; p++ {
+		placeRecvs(s, p, arrivals[p], sendBusy[p])
+	}
+	return s
+}
+
+// Personalized returns the all-to-all personalized communication schedule:
+// processor i holds a distinct item for every other processor j (item id
+// i*P+j) and sends it only to j. The communication pattern and completion
+// time are identical to single-item all-to-all broadcast (Section 4.1's
+// closing remark).
+func Personalized(m logp.Machine) *schedule.Schedule {
+	s := &schedule.Schedule{M: m}
+	if m.P < 2 {
+		return s
+	}
+	str := core.SendStride(m)
+	arrivals := make([][]arrival, m.P)
+	sendBusy := make([][]logp.Time, m.P)
+	for i := 0; i < m.P; i++ {
+		for d := 1; d < m.P; d++ {
+			at := logp.Time(d-1) * str
+			to := (i + d) % m.P
+			item := i*m.P + to
+			s.Send(i, at, item, to)
+			sendBusy[i] = append(sendBusy[i], at)
+			arrivals[to] = append(arrivals[to], arrival{at: at + m.O + m.L, item: item, from: i})
+		}
+	}
+	for p := 0; p < m.P; p++ {
+		placeRecvs(s, p, arrivals[p], sendBusy[p])
+	}
+	return s
+}
+
+// PersonalizedDelivered checks that every processor received exactly its
+// P-1 personalized items and returns the completion time.
+func PersonalizedDelivered(s *schedule.Schedule) (logp.Time, error) {
+	m := s.M
+	got := make(map[int]bool)
+	var finish logp.Time
+	for _, e := range s.Events {
+		if e.Op != schedule.OpRecv {
+			continue
+		}
+		src, dst := e.Item/m.P, e.Item%m.P
+		if dst != e.Proc {
+			return 0, fmt.Errorf("alltoall: proc %d received item destined for %d", e.Proc, dst)
+		}
+		if src != e.Peer {
+			return 0, fmt.Errorf("alltoall: item %d arrived from %d, want source %d", e.Item, e.Peer, src)
+		}
+		if got[e.Item] {
+			return 0, fmt.Errorf("alltoall: item %d delivered twice", e.Item)
+		}
+		got[e.Item] = true
+		if t := e.Time + m.O; t > finish {
+			finish = t
+		}
+	}
+	want := m.P * (m.P - 1)
+	if len(got) != want {
+		return 0, fmt.Errorf("alltoall: %d personalized deliveries, want %d", len(got), want)
+	}
+	return finish, nil
+}
+
+// ScheduleWithPermutations generalizes the optimal schedule: perms[i][r]
+// gives the destination of processor i's r-th transmission. The paper notes
+// that any family of permutations of {0..P-1}\{i} in which no processor is
+// the target of two messages in the same round is optimal. The function
+// validates that property and returns an error otherwise.
+func ScheduleWithPermutations(m logp.Machine, perms [][]int) (*schedule.Schedule, error) {
+	if len(perms) != m.P {
+		return nil, fmt.Errorf("alltoall: %d permutations for P=%d", len(perms), m.P)
+	}
+	for i, pm := range perms {
+		if len(pm) != m.P-1 {
+			return nil, fmt.Errorf("alltoall: permutation %d has length %d, want %d", i, len(pm), m.P-1)
+		}
+		seen := make(map[int]bool, m.P)
+		for _, d := range pm {
+			if d == i || d < 0 || d >= m.P {
+				return nil, fmt.Errorf("alltoall: permutation %d targets %d", i, d)
+			}
+			if seen[d] {
+				return nil, fmt.Errorf("alltoall: permutation %d targets %d twice", i, d)
+			}
+			seen[d] = true
+		}
+	}
+	for r := 0; r < m.P-1; r++ {
+		seen := make(map[int]bool, m.P)
+		for i := range perms {
+			d := perms[i][r]
+			if seen[d] {
+				return nil, fmt.Errorf("alltoall: round %d targets processor %d twice", r, d)
+			}
+			seen[d] = true
+		}
+	}
+	str := core.SendStride(m)
+	s := &schedule.Schedule{M: m}
+	arrivals := make([][]arrival, m.P)
+	sendBusy := make([][]logp.Time, m.P)
+	for i, pm := range perms {
+		for r, to := range pm {
+			at := logp.Time(r) * str
+			s.Send(i, at, Item(m, i, 0), to)
+			sendBusy[i] = append(sendBusy[i], at)
+			arrivals[to] = append(arrivals[to], arrival{at: at + m.O + m.L, item: Item(m, i, 0), from: i})
+		}
+	}
+	for p := 0; p < m.P; p++ {
+		placeRecvs(s, p, arrivals[p], sendBusy[p])
+	}
+	return s, nil
+}

@@ -1,0 +1,262 @@
+package alltoall
+
+import (
+	"testing"
+	"testing/quick"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+	"logpopt/internal/sim"
+)
+
+func TestOptimalPostal(t *testing.T) {
+	for p := 2; p <= 30; p++ {
+		for l := logp.Time(1); l <= 5; l++ {
+			m := logp.Postal(p, l)
+			s := Schedule(m, 1)
+			// In the postal model receptions are exactly at arrival, so the
+			// strict validator applies.
+			if vs := schedule.ValidateBroadcast(s, Origins(m, 1)); len(vs) != 0 {
+				t.Fatalf("P=%d L=%d: %v", p, l, vs[0])
+			}
+			if got, want := s.LastRecv(), LowerBound(m, 1); got != want {
+				t.Fatalf("P=%d L=%d: completes at %d, want %d", p, l, got, want)
+			}
+		}
+	}
+}
+
+func TestFigure1Machine(t *testing.T) {
+	// L=6, o=2, g=4: the arrival phase (L+o) mod g = 0 collides with the
+	// send overhead, so greedy reception defers each reception by o; the
+	// schedule completes at the bound + o and is a valid deferred-reception
+	// LogP schedule.
+	m := logp.MustNew(8, 6, 2, 4)
+	s := Schedule(m, 1)
+	vs := schedule.ValidateDeferred(s)
+	vs = append(vs, schedule.CheckAvailability(s, Origins(m, 1))...)
+	vs = append(vs, schedule.CheckBroadcastComplete(s, Origins(m, 1))...)
+	if len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if got, want := s.LastRecv(), LowerBound(m, 1)+m.O; got != want {
+		t.Fatalf("completes at %d, want %d", got, want)
+	}
+}
+
+func TestPhaseAlignedGeneralMachine(t *testing.T) {
+	// L=6, o=2, g=5: (L+o) mod g = 3 in [o, g-o] = [2, 3]: receptions fit
+	// at arrival and the paper's bound is met exactly under the strict
+	// validator.
+	m := logp.MustNew(6, 6, 2, 5)
+	s := Schedule(m, 1)
+	if vs := schedule.ValidateBroadcast(s, Origins(m, 1)); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if got, want := s.LastRecv(), LowerBound(m, 1); got != want {
+		t.Fatalf("completes at %d, want %d", got, want)
+	}
+}
+
+func TestKItem(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		m := logp.Postal(9, 3)
+		s := Schedule(m, k)
+		if vs := schedule.ValidateBroadcast(s, Origins(m, k)); len(vs) != 0 {
+			t.Fatalf("k=%d: %v", k, vs[0])
+		}
+		if got, want := s.LastRecv(), LowerBound(m, k); got != want {
+			t.Fatalf("k=%d: completes at %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestAlwaysValidProperty(t *testing.T) {
+	// For any machine the schedule must be a valid deferred-reception LogP
+	// schedule delivering everything, never beating the lower bound.
+	f := func(l, o, g, p, k uint8) bool {
+		m := logp.Machine{
+			P: int(p%12) + 2,
+			L: logp.Time(l%8) + 1,
+			O: logp.Time(o % 4),
+			G: logp.Time(g%4) + 1,
+		}
+		kk := int(k%3) + 1
+		s := Schedule(m, kk)
+		vs := schedule.ValidateDeferred(s)
+		vs = append(vs, schedule.CheckAvailability(s, Origins(m, kk))...)
+		vs = append(vs, schedule.CheckBroadcastComplete(s, Origins(m, kk))...)
+		if len(vs) != 0 {
+			return false
+		}
+		return s.LastRecv() >= LowerBound(m, kk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedExecution(t *testing.T) {
+	m := logp.Postal(7, 2)
+	s := Schedule(m, 1)
+	_, rep := sim.Run(s, sim.Strict, Origins(m, 1))
+	if len(rep.Violations) != 0 {
+		t.Fatalf("sim violations: %v", rep.Violations)
+	}
+	if want := LowerBound(m, 1); rep.Finish != want {
+		t.Fatalf("sim finish %d, want %d", rep.Finish, want)
+	}
+}
+
+func TestPersonalized(t *testing.T) {
+	for p := 2; p <= 20; p++ {
+		m := logp.Postal(p, 3)
+		s := Personalized(m)
+		if vs := schedule.Validate(s); len(vs) != 0 {
+			t.Fatalf("P=%d: %v", p, vs[0])
+		}
+		finish, err := PersonalizedDelivered(s)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if want := LowerBound(m, 1); finish != want {
+			t.Fatalf("P=%d: finish %d, want %d", p, finish, want)
+		}
+	}
+}
+
+func TestPersonalizedGeneralMachine(t *testing.T) {
+	m := logp.MustNew(6, 6, 2, 4)
+	s := Personalized(m)
+	if vs := schedule.ValidateDeferred(s); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if _, err := PersonalizedDelivered(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationFamily(t *testing.T) {
+	m := logp.Postal(5, 2)
+	// A legal non-default family: round r, processor i targets i-1-r mod P
+	// (reverse cyclic order). No two processors share a target per round.
+	perms := make([][]int, m.P)
+	for i := range perms {
+		perms[i] = make([]int, m.P-1)
+		for r := 0; r < m.P-1; r++ {
+			perms[i][r] = ((i-1-r)%m.P + m.P) % m.P
+		}
+	}
+	s, err := ScheduleWithPermutations(m, perms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og := make(map[int]schedule.Origin)
+	for i := 0; i < m.P; i++ {
+		og[Item(m, i, 0)] = schedule.Origin{Proc: i}
+	}
+	if vs := schedule.ValidateBroadcast(s, og); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if got, want := s.LastRecv(), LowerBound(m, 1); got != want {
+		t.Fatalf("completes at %d, want %d", got, want)
+	}
+}
+
+func TestPermutationFamilyRejections(t *testing.T) {
+	m := logp.Postal(4, 2)
+	mk := func() [][]int {
+		perms := make([][]int, m.P)
+		for i := range perms {
+			perms[i] = make([]int, m.P-1)
+			for r := 0; r < m.P-1; r++ {
+				perms[i][r] = (i + r + 1) % m.P
+			}
+		}
+		return perms
+	}
+	// Wrong count.
+	if _, err := ScheduleWithPermutations(m, mk()[:2]); err == nil {
+		t.Fatal("short family accepted")
+	}
+	// Self-target.
+	bad := mk()
+	bad[0][0] = 0
+	if _, err := ScheduleWithPermutations(m, bad); err == nil {
+		t.Fatal("self-target accepted")
+	}
+	// Duplicate target within a permutation.
+	bad2 := mk()
+	bad2[0][1] = bad2[0][0]
+	if _, err := ScheduleWithPermutations(m, bad2); err == nil {
+		t.Fatal("duplicate target accepted")
+	}
+	// Round collision: two processors target the same proc in round 0.
+	bad3 := mk()
+	bad3[0][0], bad3[0][2] = bad3[0][2], bad3[0][0]
+	if _, err := ScheduleWithPermutations(m, bad3); err == nil {
+		t.Fatal("round collision accepted")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	m := logp.Postal(1, 3)
+	if s := Schedule(m, 1); len(s.Events) != 0 {
+		t.Fatal("P=1 all-to-all should be empty")
+	}
+	if s := Personalized(m); len(s.Events) != 0 {
+		t.Fatal("P=1 personalized should be empty")
+	}
+	m2 := logp.Postal(4, 3)
+	if s := Schedule(m2, 0); len(s.Events) != 0 {
+		t.Fatal("k=0 all-to-all should be empty")
+	}
+}
+
+func TestScatterOptimal(t *testing.T) {
+	for _, m := range []logp.Machine{logp.Postal(9, 3), logp.MustNew(8, 6, 2, 4), logp.MustNew(2, 3, 1, 2)} {
+		s := Scatter(m)
+		og := make(map[int]schedule.Origin)
+		for j := 1; j < m.P; j++ {
+			og[ScatterItem(m, j)] = schedule.Origin{Proc: 0}
+		}
+		if vs := schedule.Validate(s); len(vs) != 0 {
+			t.Fatalf("%v: %v", m, vs[0])
+		}
+		if vs := schedule.CheckAvailability(s, og); len(vs) != 0 {
+			t.Fatalf("%v: %v", m, vs[0])
+		}
+		// Each item lands exactly at its destination.
+		for _, e := range s.Events {
+			if e.Op == schedule.OpRecv && e.Proc != e.Item {
+				t.Fatalf("%v: item %d landed at %d", m, e.Item, e.Proc)
+			}
+		}
+		if got, want := s.LastRecv(), ScatterLowerBound(m); got != want {
+			t.Fatalf("%v: scatter at %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestGatherOptimal(t *testing.T) {
+	for _, m := range []logp.Machine{logp.Postal(9, 3), logp.MustNew(8, 6, 2, 4)} {
+		s := Gather(m)
+		if vs := schedule.Validate(s); len(vs) != 0 {
+			t.Fatalf("%v: %v", m, vs[0])
+		}
+		finish, err := GatherComplete(s)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if want := ScatterLowerBound(m); finish != want {
+			t.Fatalf("%v: gather at %d, want %d", m, finish, want)
+		}
+	}
+}
+
+func TestScatterGatherDegenerate(t *testing.T) {
+	m := logp.Postal(1, 2)
+	if len(Scatter(m).Events) != 0 || len(Gather(m).Events) != 0 {
+		t.Fatal("P=1 scatter/gather should be empty")
+	}
+}

@@ -1,0 +1,89 @@
+package alltoall
+
+import (
+	"fmt"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// This file rounds out the personalized collectives: scatter (one-to-all
+// personalized) and gather (all-to-one personalized). Neither is treated
+// explicitly in the paper, but both follow from its §4.1 reasoning: when
+// every message carries *distinct* data, relaying cannot reduce the source's
+// (or sink's) port work, so the flat schedule is optimal.
+//
+//   - Scatter: the source must transmit P-1 distinct messages, which takes
+//     (P-2)g + o after the first send begins, and the last one lands
+//     L + 2o later: total L + 2o + (P-2)g — the same bound as all-to-all.
+//   - Gather: by time reversal, the sink must receive P-1 messages at least
+//     g apart, giving the same L + 2o + (P-2)g.
+
+// ScatterItem returns the item id for the scatter message destined to dst.
+func ScatterItem(m logp.Machine, dst int) int { return dst }
+
+// Scatter returns the optimal one-to-all personalized schedule: processor 0
+// sends item j to processor j at time (j-1)*stride, j = 1..P-1.
+func Scatter(m logp.Machine) *schedule.Schedule {
+	s := &schedule.Schedule{M: m}
+	if m.P < 2 {
+		return s
+	}
+	str := core.SendStride(m)
+	for j := 1; j < m.P; j++ {
+		at := logp.Time(j-1) * str
+		s.Send(0, at, ScatterItem(m, j), j)
+		s.Recv(j, at+m.O+m.L, ScatterItem(m, j), 0)
+	}
+	return s
+}
+
+// ScatterLowerBound returns L + 2o + (P-2)g: the source alone needs
+// (P-2)g + o of port time and the last message needs L + o more to land.
+func ScatterLowerBound(m logp.Machine) logp.Time {
+	return m.L + 2*m.O + logp.Time(m.P-2)*m.G
+}
+
+// Gather returns the optimal all-to-one personalized schedule (the time
+// reversal of Scatter): processor j sends its item to processor 0 so that
+// arrivals land exactly g apart, the last at the lower bound.
+func Gather(m logp.Machine) *schedule.Schedule {
+	s := &schedule.Schedule{M: m}
+	if m.P < 2 {
+		return s
+	}
+	str := core.SendStride(m)
+	for j := 1; j < m.P; j++ {
+		at := logp.Time(j-1) * str
+		s.Send(j, at, ScatterItem(m, j), 0)
+		s.Recv(0, at+m.O+m.L, ScatterItem(m, j), j)
+	}
+	return s
+}
+
+// GatherComplete verifies that processor 0 received all P-1 distinct items
+// and returns the completion time.
+func GatherComplete(s *schedule.Schedule) (logp.Time, error) {
+	got := make(map[int]bool)
+	var finish logp.Time
+	for _, e := range s.Events {
+		if e.Op != schedule.OpRecv {
+			continue
+		}
+		if e.Proc != 0 {
+			return 0, fmt.Errorf("alltoall: gather delivered item %d to proc %d", e.Item, e.Proc)
+		}
+		if got[e.Item] {
+			return 0, fmt.Errorf("alltoall: gather item %d delivered twice", e.Item)
+		}
+		got[e.Item] = true
+		if t := e.Time + s.M.O; t > finish {
+			finish = t
+		}
+	}
+	if len(got) != s.M.P-1 {
+		return 0, fmt.Errorf("alltoall: gather delivered %d items, want %d", len(got), s.M.P-1)
+	}
+	return finish, nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresGenerate(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		f    func() (string, error)
+		want []string
+	}{
+		{"F1", Figure1, []string{"B(8) = 24", "P7"}},
+		{"F2", Figure2, []string{"P-1=9", "last reception is at 17"}},
+		{"F3", Figure3, []string{"P-1=P(11)=41", "source -> block[9]"}},
+		{"F4", Figure4, []string{"size-7 block", "P4"}},
+		{"F5", Figure5, []string{"finishes at 24"}},
+		{"F6", Figure6, []string{"n(t) = 79", "Ss"}},
+	} {
+		out, err := c.f()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(out, w) {
+				t.Fatalf("%s output missing %q:\n%s", c.name, w, out)
+			}
+		}
+	}
+}
+
+func TestTheorem22TableAllOK(t *testing.T) {
+	tb := Theorem22(8, 20)
+	assertAllOK(t, tb)
+}
+
+func TestKItemTableAllOK(t *testing.T) {
+	assertAllOK(t, KItemTable())
+}
+
+func TestCombineTableAllOK(t *testing.T) {
+	assertAllOK(t, CombineTable(5))
+}
+
+func TestSummationTableAllOK(t *testing.T) {
+	assertAllOK(t, SummationTable())
+}
+
+func TestAllToAllTableValid(t *testing.T) {
+	tb := AllToAllTable()
+	for _, row := range tb.Rows {
+		if row[len(row)-1] == "INVALID" {
+			t.Fatalf("invalid all-to-all row: %v", row)
+		}
+	}
+}
+
+func TestContinuousTableSmall(t *testing.T) {
+	tb := ContinuousTable(1)
+	if len(tb.Rows) != 9 { // L = 2..10
+		t.Fatalf("continuous table has %d rows", len(tb.Rows))
+	}
+	// L=4 row must list 8 as infeasible; L=2 row must have no solved t >= 4.
+	for _, row := range tb.Rows {
+		if row[0] == "4" && !strings.Contains(row[3], "8") {
+			t.Fatalf("L=4 row does not flag t=8 infeasible: %v", row)
+		}
+	}
+}
+
+func TestBaselineTables(t *testing.T) {
+	for _, tb := range []*Table{SingleItemTable(), KItemBaselineTable(), ReduceVsCombineTable()} {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("empty table %q", tb.Title)
+		}
+		if !strings.Contains(tb.String(), "==") {
+			t.Fatalf("table %q renders oddly", tb.Title)
+		}
+	}
+}
+
+func TestCondense(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "-"},
+		{[]int{4}, "4"},
+		{[]int{4, 5, 6}, "4-6"},
+		{[]int{4, 6, 7, 9}, "4,6-7,9"},
+	}
+	for _, c := range cases {
+		if got := condense(c.in); got != c.want {
+			t.Fatalf("condense(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "x", Header: []string{"a", "bb"}}
+	tb.Add(1, "yyy")
+	tb.Note("n%d", 1)
+	out := tb.String()
+	for _, w := range []string{"== x ==", "a  bb", "1  yyy", "note: n1"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("rendering missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func assertAllOK(t *testing.T, tb *Table) {
+	t.Helper()
+	if len(tb.Rows) == 0 {
+		t.Fatalf("table %q is empty", tb.Title)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row {
+			if cell == "FAIL" {
+				t.Fatalf("table %q has failing row %v", tb.Title, row)
+			}
+		}
+	}
+}
+
+func TestExtensionsTableAllOK(t *testing.T) {
+	assertAllOK(t, ExtensionsTable())
+}
+
+func TestGeneralPTableShape(t *testing.T) {
+	tb := GeneralPTable(30)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("general-P table has %d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "4" && row[3] != "7" {
+			t.Fatalf("L=4 unsolved column %q, want just p=7", row[3])
+		}
+	}
+}
+
+func TestTightnessTableAllOK(t *testing.T) {
+	tb := TightnessTable()
+	for _, row := range tb.Rows {
+		last := row[len(row)-1]
+		if last != "ok" && last != "budget" {
+			t.Fatalf("tightness row failed: %v", row)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFigureGoldens pins the exact text of every regenerated figure. The
+// schedulers and renderers are deterministic, so any diff is a behaviour
+// change: run `go test ./internal/bench -run Golden -update` after an
+// intentional one.
+func TestFigureGoldens(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		f    func() (string, error)
+	}{
+		{"figure1", Figure1},
+		{"figure2", Figure2},
+		{"figure3", Figure3},
+		{"figure4", Figure4},
+		{"figure5", Figure5},
+		{"figure6", Figure6},
+	} {
+		got, err := c.f()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		path := filepath.Join("testdata", c.name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", c.name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: output differs from golden file (run with -update after intentional changes)", c.name)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package combine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+func TestTimeFor(t *testing.T) {
+	// L=3: f = 1,1,1,2,3,4,6,9,... so 9 processors combine in time 7.
+	if got := TimeFor(3, 9); got != 7 {
+		t.Fatalf("TimeFor(3,9) = %d, want 7", got)
+	}
+	if got := TimeFor(3, 10); got != 8 {
+		t.Fatalf("TimeFor(3,10) = %d, want 8", got)
+	}
+	if _, ok := Exact(3, 9); !ok {
+		t.Fatal("Exact(3,9) should hold")
+	}
+	if _, ok := Exact(3, 10); ok {
+		t.Fatal("Exact(3,10) should not hold")
+	}
+}
+
+func TestScheduleValid(t *testing.T) {
+	for l := 2; l <= 6; l++ {
+		for T := l; T <= l+8; T++ {
+			s := Schedule(l, T)
+			if vs := schedule.Validate(s); len(vs) != 0 {
+				t.Fatalf("L=%d T=%d: %v", l, T, vs[0])
+			}
+		}
+	}
+}
+
+func TestTheorem41Sum(t *testing.T) {
+	// Integer sum: every processor must end with the total.
+	for l := 2; l <= 5; l++ {
+		for T := l; T <= l+9; T++ {
+			p := int(core.NewSeq(l).F(T))
+			vals := make([]int, p)
+			want := 0
+			for i := range vals {
+				vals[i] = i*i + 1
+				want += vals[i]
+			}
+			got, err := Run(l, T, vals, func(a, b int) int { return a + b })
+			if err != nil {
+				t.Fatalf("L=%d T=%d: %v", l, T, err)
+			}
+			for i, v := range got {
+				if v != want {
+					t.Fatalf("L=%d T=%d: proc %d has %d, want %d", l, T, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem41NonCommutativeRotation(t *testing.T) {
+	// With string concatenation, processor i must end with the cyclic
+	// product x_{i+1} x_{i+2} ... x_{i+P} — order preserved exactly.
+	l, T := 3, 7
+	p := int(core.NewSeq(l).F(T)) // 9
+	vals := make([]string, p)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("<%d>", i)
+	}
+	got, err := Run(l, T, vals, func(a, b string) string { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := ""
+		for j := 1; j <= p; j++ {
+			want += vals[(i+j)%p]
+		}
+		if got[i] != want {
+			t.Fatalf("proc %d: %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestRunSegmentsInvariant(t *testing.T) {
+	for l := 2; l <= 6; l++ {
+		for T := l; T <= l+9; T++ {
+			if _, err := RunSegments(l, T); err != nil {
+				t.Fatalf("L=%d T=%d: %v", l, T, err)
+			}
+		}
+	}
+}
+
+func TestRunSegmentsProperty(t *testing.T) {
+	f := func(l, dt uint8) bool {
+		ll := int(l%6) + 2
+		T := ll + int(dt%10)
+		_, err := RunSegments(ll, T)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(3, 7, []int{1, 2, 3}, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	// T < L: P(T) = 1, nothing to do.
+	got, err := Run(3, 2, []int{5}, func(a, b int) int { return a + b })
+	if err != nil || len(got) != 1 || got[0] != 5 {
+		t.Fatalf("trivial run: %v %v", got, err)
+	}
+	s := Schedule(3, 1)
+	if len(s.Events) != 0 {
+		t.Fatal("trivial schedule should be empty")
+	}
+}
+
+func TestReduceSchedule(t *testing.T) {
+	for _, m := range []logp.Machine{logp.Postal(9, 3), logp.MustNew(8, 6, 2, 4)} {
+		s := ReduceSchedule(m, m.P)
+		if vs := schedule.Validate(s); len(vs) != 0 {
+			t.Fatalf("%v: %v", m, vs[0])
+		}
+		// Completion: last reception availability = B(P).
+		if got, want := s.LastRecv(), core.B(m, m.P); got != want {
+			t.Fatalf("%v: reduce completes at %d, want B=%d", m, got, want)
+		}
+	}
+}
+
+func TestReduceRunSum(t *testing.T) {
+	for _, m := range []logp.Machine{logp.Postal(9, 3), logp.Postal(13, 2), logp.MustNew(8, 6, 2, 4)} {
+		vals := make([]int, m.P)
+		want := 0
+		for i := range vals {
+			vals[i] = 3*i + 1
+			want += vals[i]
+		}
+		got, T, err := ReduceRun(m, vals, func(a, b int) int { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: reduce = %d, want %d", m, got, want)
+		}
+		if wantT := core.B(m, m.P); T != wantT {
+			t.Fatalf("%v: reduce time %d, want %d", m, T, wantT)
+		}
+	}
+}
+
+func TestReduceRunValidation(t *testing.T) {
+	m := logp.Postal(4, 2)
+	if _, _, err := ReduceRun(m, []int{1, 2, 3, 4, 5}, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("too many values accepted")
+	}
+	if _, _, err := ReduceRun(m, nil, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("empty values accepted")
+	}
+}
+
+func TestCombiningNoSlowerThanReduction(t *testing.T) {
+	// Section 4.2's headline: all-to-all broadcast with combining takes no
+	// longer than all-to-one reduction, for P = P(T).
+	for l := 2; l <= 5; l++ {
+		seq := core.NewSeq(l)
+		for T := l; T <= l+8; T++ {
+			p := int(seq.F(T))
+			m := logp.Postal(p, logp.Time(l))
+			reduceT := core.B(m, p)
+			if logp.Time(T) != reduceT {
+				t.Fatalf("L=%d P=%d: combining time %d != reduction time %d", l, p, T, reduceT)
+			}
+		}
+	}
+}
+
+func TestScanRunInt(t *testing.T) {
+	for _, m := range []logp.Machine{logp.Postal(9, 3), logp.Postal(21, 2), logp.MustNew(8, 6, 2, 4)} {
+		vals := make([]int, m.P)
+		for i := range vals {
+			vals[i] = i*i + 1
+		}
+		res, T, err := ScanRun(m, vals, func(a, b int) int { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 2 * core.B(m, m.P); T != want {
+			t.Fatalf("%v: scan time %d, want %d", m, T, want)
+		}
+		// Sequential scan in rank order must match.
+		rank := ScanRanks(m, m.P)
+		byRank := make([]int, m.P) // node index at each rank
+		for ni, r := range rank {
+			byRank[r] = ni
+		}
+		run := 0
+		for r := 0; r < m.P; r++ {
+			ni := byRank[r]
+			run += vals[ni]
+			if res[ni] != run {
+				t.Fatalf("%v: node %d (rank %d) = %d, want %d", m, ni, r, res[ni], run)
+			}
+		}
+	}
+}
+
+func TestScanRunNonCommutative(t *testing.T) {
+	m := logp.Postal(13, 3)
+	vals := make([]string, m.P)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("<%d>", i)
+	}
+	res, _, err := ScanRun(m, vals, func(a, b string) string { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := ScanRanks(m, m.P)
+	byRank := make([]int, m.P)
+	for ni, r := range rank {
+		byRank[r] = ni
+	}
+	run := ""
+	for r := 0; r < m.P; r++ {
+		ni := byRank[r]
+		run += vals[ni]
+		if res[ni] != run {
+			t.Fatalf("node %d (rank %d): %q, want %q", ni, r, res[ni], run)
+		}
+	}
+}
+
+func TestScanRanksIsPermutation(t *testing.T) {
+	m := logp.Postal(19, 3)
+	rank := ScanRanks(m, m.P)
+	seen := make([]bool, m.P)
+	for _, r := range rank {
+		if r < 0 || r >= m.P || seen[r] {
+			t.Fatalf("ranks not a permutation: %v", rank)
+		}
+		seen[r] = true
+	}
+	if rank[0] != 0 {
+		t.Fatalf("root rank %d, want 0", rank[0])
+	}
+}
+
+func TestScanScheduleValid(t *testing.T) {
+	for _, m := range []logp.Machine{logp.Postal(9, 3), logp.MustNew(8, 6, 2, 4), logp.Postal(34, 2)} {
+		s := ScanSchedule(m, m.P)
+		if vs := schedule.Validate(s); len(vs) != 0 {
+			t.Fatalf("%v: %v", m, vs[0])
+		}
+		if got, want := s.LastRecv(), 2*core.B(m, m.P); got != want {
+			t.Fatalf("%v: scan schedule completes at %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestScanRejects(t *testing.T) {
+	m := logp.Postal(4, 2)
+	if _, _, err := ScanRun(m, make([]int, 5), func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("too many values accepted")
+	}
+}

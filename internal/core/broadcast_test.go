@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+func TestBroadcastScheduleFigure1(t *testing.T) {
+	m := logp.MustNew(8, 6, 2, 4)
+	s := BroadcastSchedule(m, 0)
+	if vs := schedule.ValidateBroadcast(s, Origins(0)); len(vs) != 0 {
+		t.Fatalf("Figure 1 schedule violations: %v", vs)
+	}
+	// Last item availability = B(8) = 24: last recv at 22 (arrival), +o=2.
+	if got := s.LastRecv(); got != 24 {
+		t.Fatalf("broadcast completes at %d, want 24", got)
+	}
+}
+
+func TestBroadcastSchedulePostal(t *testing.T) {
+	for l := logp.Time(1); l <= 6; l++ {
+		for p := 2; p <= 40; p++ {
+			m := logp.Postal(p, l)
+			s := BroadcastSchedule(m, 7)
+			if vs := schedule.ValidateBroadcast(s, Origins(7)); len(vs) != 0 {
+				t.Fatalf("postal L=%d P=%d: %v", l, p, vs[0])
+			}
+			if got, want := s.LastRecv(), B(m, p); got != want {
+				t.Fatalf("postal L=%d P=%d: completes at %d, want B=%d", l, p, got, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastScheduleProperty(t *testing.T) {
+	f := func(l, o, g, p uint8) bool {
+		m := logp.Machine{
+			P: int(p%30) + 2,
+			L: logp.Time(l%10) + 1,
+			O: logp.Time(o % 5),
+			G: logp.Time(g%5) + 1,
+		}
+		s := BroadcastSchedule(m, 0)
+		if len(schedule.ValidateBroadcast(s, Origins(0))) != 0 {
+			return false
+		}
+		return s.LastRecv() == B(m, m.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeScheduleOffsetAndAssignment(t *testing.T) {
+	m := logp.Postal(5, 2)
+	tr := OptimalTree(m, 5)
+	// Reverse processor assignment, offset 10.
+	procOf := []int{4, 3, 2, 1, 0}
+	s, err := TreeSchedule(tr, 3, procOf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origins := map[int]schedule.Origin{3: {Proc: 4, Time: 10}}
+	if vs := schedule.ValidateBroadcast(s, origins); len(vs) != 0 {
+		t.Fatalf("offset schedule violations: %v", vs)
+	}
+	if got, want := s.LastRecv(), 10+B(m, 5); got != want {
+		t.Fatalf("offset completes at %d, want %d", got, want)
+	}
+}
+
+func TestTreeScheduleBadAssignment(t *testing.T) {
+	m := logp.Postal(5, 2)
+	tr := OptimalTree(m, 5)
+	if _, err := TreeSchedule(tr, 0, []int{0, 1}, 0); err == nil {
+		t.Fatal("TreeSchedule accepted short procOf")
+	}
+}
+
+func TestBroadcastExhaustivelyOptimalSmall(t *testing.T) {
+	// Theorem 2.1 cross-check: for small P, no broadcast schedule of any
+	// tree shape can beat B(P). We enumerate all feasible broadcast trees
+	// by branch-and-bound over "who sends to whom at what slot" in the
+	// postal model and confirm the minimum equals B(P).
+	for l := logp.Time(1); l <= 4; l++ {
+		for p := 2; p <= 7; p++ {
+			m := logp.Postal(p, l)
+			want := B(m, p)
+			got := exhaustiveBroadcastTime(p, l)
+			if got != want {
+				t.Fatalf("postal L=%d P=%d: exhaustive optimum %d != B = %d", l, p, got, want)
+			}
+		}
+	}
+}
+
+// exhaustiveBroadcastTime computes the true optimal postal-model broadcast
+// time for p processors by searching over informing orders. In the postal
+// model a processor informed at time d can inform others at d+L, d+L+1, ....
+// Greedily, an optimal schedule informs processors one at a time; the state
+// is the multiset of "next available send completion times" of informed
+// processors. We search all choices of which sender informs the next
+// processor.
+func exhaustiveBroadcastTime(p int, l logp.Time) logp.Time {
+	best := logp.Time(1 << 30)
+	// state: sorted slice of each informed processor's next-arrival time
+	// (the earliest time at which a message it sends next can arrive).
+	var rec func(next []logp.Time, remaining int, worst logp.Time)
+	rec = func(next []logp.Time, remaining int, worst logp.Time) {
+		if remaining == 0 {
+			if worst < best {
+				best = worst
+			}
+			return
+		}
+		if worst >= best {
+			return
+		}
+		seen := map[logp.Time]bool{}
+		for i := range next {
+			a := next[i]
+			if a >= best {
+				continue
+			}
+			if seen[a] {
+				continue // identical senders are symmetric
+			}
+			seen[a] = true
+			nw := worst
+			if a > nw {
+				nw = a
+			}
+			child := a + l // the new processor's own first arrival: informed at a, sends at a, arrives a+l
+			save := next[i]
+			next[i] = a + 1 // sender's next message arrives one step later
+			next2 := append(next, child)
+			rec(next2, remaining-1, nw)
+			next[i] = save
+		}
+	}
+	rec([]logp.Time{l}, p-1, 0)
+	return best
+}

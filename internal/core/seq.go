@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: optimal
+// single-item broadcast in the LogP model (Section 2 of Karp, Sahay, Santos,
+// Schauser, SPAA 1993), including the universal optimal broadcast tree, the
+// optimal broadcast time B(P; L,o,g), the reachable-processor function
+// P(t; L,o,g), and the generalized Fibonacci sequence {f_i} that governs the
+// postal-model special case.
+package core
+
+import (
+	"fmt"
+)
+
+// Seq is the generalized Fibonacci sequence of Definition 2.5 for a fixed
+// postal latency L:
+//
+//	f_i = 1                  for 0 <= i < L
+//	f_i = f_{i-1} + f_{i-L}  otherwise.
+//
+// By Theorem 2.2, f_t is the maximum number of processors reachable by a
+// single-item broadcast in t steps of the postal model with latency L.
+// Values are memoized; a Seq is not safe for concurrent use.
+type Seq struct {
+	l    int
+	vals []int64
+}
+
+// NewSeq returns the sequence for postal latency l. It panics if l < 1.
+func NewSeq(l int) *Seq {
+	if l < 1 {
+		panic(fmt.Sprintf("core: NewSeq requires L >= 1, got %d", l))
+	}
+	vals := make([]int64, l)
+	for i := range vals {
+		vals[i] = 1
+	}
+	return &Seq{l: l, vals: vals}
+}
+
+// L returns the latency parameter of the sequence.
+func (s *Seq) L() int { return s.l }
+
+// F returns f_i. It panics if i < 0. Values saturate at math.MaxInt64 only in
+// theory; callers that sweep i keep it far below overflow (i <= 200 or so for
+// small L). F grows exponentially, so overflow is checked and panics rather
+// than wrapping.
+func (s *Seq) F(i int) int64 {
+	if i < 0 {
+		panic(fmt.Sprintf("core: Seq.F index must be non-negative, got %d", i))
+	}
+	for len(s.vals) <= i {
+		n := len(s.vals)
+		v := s.vals[n-1] + s.vals[n-s.l]
+		if v < s.vals[n-1] {
+			panic("core: Seq.F overflow")
+		}
+		s.vals = append(s.vals, v)
+	}
+	return s.vals[i]
+}
+
+// PrefixSum returns 1 + sum_{i=0}^{t} f_i, which by Fact 2.1 equals f_{t+L}.
+// For t < 0 it returns 1 (the empty sum).
+func (s *Seq) PrefixSum(t int) int64 {
+	sum := int64(1)
+	for i := 0; i <= t; i++ {
+		sum += s.F(i)
+	}
+	return sum
+}
+
+// InvF returns the smallest t >= 0 such that f_t >= p. It panics if p < 1.
+// Because f_t = P(t) in the postal model, InvF(p) is the optimal broadcast
+// time B(p) for the postal model (Theorem 2.2).
+func (s *Seq) InvF(p int64) int {
+	if p < 1 {
+		panic(fmt.Sprintf("core: Seq.InvF requires p >= 1, got %d", p))
+	}
+	for t := 0; ; t++ {
+		if s.F(t) >= p {
+			return t
+		}
+	}
+}
+
+// KStar computes the endgame item count k* of Section 3: with n the index
+// such that f_n < P-1 <= f_{n+1},
+//
+//	k* = floor( sum_{t=0}^{n} f_t / (P-1) ).
+//
+// k* is the number of items that the source must send multiple times in an
+// optimal k-item broadcast (the "endgame" items). It panics if p < 2.
+// The paper shows k* <= L.
+func (s *Seq) KStar(p int) int64 {
+	if p < 2 {
+		panic(fmt.Sprintf("core: Seq.KStar requires P >= 2, got %d", p))
+	}
+	pm1 := int64(p - 1)
+	// n such that f_n < P-1 <= f_{n+1}. For P-1 = 1, f_0 = 1 >= 1 and no
+	// index has f_n < 1, so n = -1 and the sum is empty.
+	n := -1
+	for t := 0; ; t++ {
+		if s.F(t) >= pm1 {
+			break
+		}
+		n = t
+	}
+	var sum int64
+	for t := 0; t <= n; t++ {
+		sum += s.F(t)
+	}
+	return sum / pm1
+}
+
+// KItemLowerBound returns the lower bound of Theorem 3.1 on broadcasting k
+// items from a single source among p processors in the postal model with
+// this sequence's latency:
+//
+//	B(P-1) + L + (k-1) - k*.
+//
+// It panics if p < 2 or k < 1.
+func (s *Seq) KItemLowerBound(p int, k int64) int64 {
+	if k < 1 {
+		panic(fmt.Sprintf("core: KItemLowerBound requires k >= 1, got %d", k))
+	}
+	b := int64(s.InvF(int64(p - 1)))
+	ks := s.KStar(p)
+	if ks > k {
+		// Fewer items than endgame slots: the bound degenerates; every
+		// item is an endgame item and the bound is B(P-1) + L (all k
+		// items can finish together only if k <= k*). Use the general
+		// expression with k* capped at k - justified because at most k
+		// items can be "free".
+		ks = k
+	}
+	return b + int64(s.l) + (k - 1) - ks
+}
+
+// SingleSendingLowerBound returns the lower bound B(P-1) + L + k - 1 on any
+// single-sending schedule (one in which the source transmits each item
+// exactly once), from Section 3.4.
+func (s *Seq) SingleSendingLowerBound(p int, k int64) int64 {
+	return int64(s.InvF(int64(p-1))) + int64(s.l) + k - 1
+}
+
+// Growth returns the growth rate φ_L of the sequence: the unique root
+// greater than 1 of x^L = x^(L-1) + 1. The reachable-processor count grows
+// as P(t) = Θ(φ_L^t), so optimal postal broadcast time is
+// B(P) ≈ log_{φ_L} P; for L = 1 the rate is 2 (doubling), and for L = 2 it
+// is the golden ratio. (Bar-Noy and Kipnis give the corresponding bounds in
+// the postal-model paper the running example cites.)
+func (s *Seq) Growth() float64 {
+	if s.l == 1 {
+		return 2 // x = x^0 + 1
+	}
+	l := float64(s.l)
+	x := 2.0 // f' > 0 on (1,2]; Newton from 2 converges monotonically
+	for i := 0; i < 200; i++ {
+		// g(x) = x^L - x^(L-1) - 1; g'(x) = L x^(L-1) - (L-1) x^(L-2).
+		xm := pow(x, s.l-2)
+		g := x*x*xm - x*xm - 1
+		gp := l*x*xm - (l-1)*xm
+		nx := x - g/gp
+		if diff := nx - x; diff < 1e-15 && diff > -1e-15 {
+			return nx
+		}
+		x = nx
+	}
+	return x
+}
+
+func pow(x float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	r := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqL3KnownValues(t *testing.T) {
+	// For L=3 the sequence runs 1,1,1,2,3,4,6,9,13,19,28,41,... — the
+	// paper's running example uses f_7 = 9 (T9) and Figure 3 uses
+	// P-1 = P(11) = 41.
+	s := NewSeq(3)
+	want := []int64{1, 1, 1, 2, 3, 4, 6, 9, 13, 19, 28, 41, 60, 88}
+	for i, w := range want {
+		if got := s.F(i); got != w {
+			t.Errorf("f_%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSeqL1Doubles(t *testing.T) {
+	// L=1: f_i = 2 f_{i-1}... actually f_i = f_{i-1} + f_{i-1} = 2^i.
+	s := NewSeq(1)
+	for i := 0; i <= 20; i++ {
+		if got, want := s.F(i), int64(1)<<uint(i); got != want {
+			t.Errorf("L=1: f_%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSeqL2Fibonacci(t *testing.T) {
+	// L=2 gives the classical Fibonacci numbers 1,1,2,3,5,8,...
+	s := NewSeq(2)
+	want := []int64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for i, w := range want {
+		if got := s.F(i); got != w {
+			t.Errorf("L=2: f_%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFact21PrefixSum(t *testing.T) {
+	// Fact 2.1: 1 + sum_{i=0}^{t} f_i = f_{t+L}.
+	for l := 1; l <= 10; l++ {
+		s := NewSeq(l)
+		for tt := 0; tt <= 30; tt++ {
+			if got, want := s.PrefixSum(tt), s.F(tt+l); got != want {
+				t.Errorf("L=%d t=%d: PrefixSum=%d, f_{t+L}=%d", l, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestFact21Property(t *testing.T) {
+	f := func(l, tt uint8) bool {
+		ll := int(l%8) + 1
+		tv := int(tt % 40)
+		s := NewSeq(ll)
+		return s.PrefixSum(tv) == s.F(tv+ll)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvF(t *testing.T) {
+	s := NewSeq(3)
+	cases := []struct {
+		p    int64
+		want int
+	}{
+		{1, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 6}, {7, 7}, {9, 7}, {10, 8}, {41, 11}, {42, 12},
+	}
+	for _, c := range cases {
+		if got := s.InvF(c.p); got != c.want {
+			t.Errorf("InvF(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestInvFIsInverse(t *testing.T) {
+	for l := 1; l <= 8; l++ {
+		s := NewSeq(l)
+		for p := int64(1); p <= 2000; p++ {
+			tt := s.InvF(p)
+			if s.F(tt) < p {
+				t.Fatalf("L=%d: f_{InvF(%d)} = %d < %d", l, p, s.F(tt), p)
+			}
+			if tt > 0 && s.F(tt-1) >= p {
+				t.Fatalf("L=%d: InvF(%d)=%d not minimal", l, p, tt)
+			}
+		}
+	}
+}
+
+func TestKStarRunningExample(t *testing.T) {
+	// Section 3.3's example: L=3, P-1=9 has k* = 2 ("every processor must
+	// have received k* = 2 items by time step 9").
+	s := NewSeq(3)
+	if got := s.KStar(10); got != 2 {
+		t.Fatalf("KStar(P=10) = %d, want 2", got)
+	}
+}
+
+func TestKStarAtMostL(t *testing.T) {
+	// Section 3.1 notes k* <= L.
+	for l := 1; l <= 10; l++ {
+		s := NewSeq(l)
+		for p := 2; p <= 500; p++ {
+			if ks := s.KStar(p); ks > int64(l) {
+				t.Fatalf("L=%d P=%d: k* = %d > L", l, p, ks)
+			}
+		}
+	}
+}
+
+func TestKStarDefinition(t *testing.T) {
+	// Recompute k* directly from the definition and compare.
+	for l := 2; l <= 6; l++ {
+		s := NewSeq(l)
+		for p := 2; p <= 300; p++ {
+			pm1 := int64(p - 1)
+			n := -1
+			for i := 0; ; i++ {
+				if s.F(i) >= pm1 {
+					break
+				}
+				n = i
+			}
+			var sum int64
+			for i := 0; i <= n; i++ {
+				sum += s.F(i)
+			}
+			want := sum / pm1
+			if got := s.KStar(p); got != want {
+				t.Fatalf("L=%d P=%d: KStar=%d want %d", l, p, got, want)
+			}
+		}
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	// Running example k=8, L=3, P-1=9: B(P-1)=7, k*=2, so the Theorem 3.1
+	// bound is 7 + 3 + 7 - 2 = 15 and the single-sending bound is
+	// 7 + 3 + 8 - 1 = 17.
+	s := NewSeq(3)
+	if got := s.KItemLowerBound(10, 8); got != 15 {
+		t.Fatalf("KItemLowerBound = %d, want 15", got)
+	}
+	if got := s.SingleSendingLowerBound(10, 8); got != 17 {
+		t.Fatalf("SingleSendingLowerBound = %d, want 17", got)
+	}
+}
+
+func TestLowerBoundOrdering(t *testing.T) {
+	// Single-sending bound >= general bound, difference k* <= L.
+	for l := 2; l <= 8; l++ {
+		s := NewSeq(l)
+		for p := 3; p <= 200; p += 7 {
+			for k := int64(1); k <= 40; k += 3 {
+				gen := s.KItemLowerBound(p, k)
+				ss := s.SingleSendingLowerBound(p, k)
+				if ss < gen {
+					t.Fatalf("L=%d P=%d k=%d: single-sending bound %d < general %d", l, p, k, ss, gen)
+				}
+				if ss-gen > int64(l) {
+					t.Fatalf("L=%d P=%d k=%d: bounds differ by %d > L", l, p, k, ss-gen)
+				}
+			}
+		}
+	}
+}
+
+func TestSeqPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewSeq(0)", func() { NewSeq(0) })
+	mustPanic("F(-1)", func() { NewSeq(3).F(-1) })
+	mustPanic("InvF(0)", func() { NewSeq(3).InvF(0) })
+	mustPanic("KStar(1)", func() { NewSeq(3).KStar(1) })
+}
+
+func TestGrowthKnownValues(t *testing.T) {
+	// L=1: doubling; L=2: the golden ratio.
+	if g := NewSeq(1).Growth(); g < 1.9999999 || g > 2.0000001 {
+		t.Fatalf("L=1 growth = %v, want 2", g)
+	}
+	phi := 1.6180339887498949
+	if g := NewSeq(2).Growth(); g < phi-1e-9 || g > phi+1e-9 {
+		t.Fatalf("L=2 growth = %v, want golden ratio", g)
+	}
+}
+
+func TestGrowthMatchesRatio(t *testing.T) {
+	// f_{t+1}/f_t converges to the growth rate.
+	for l := 1; l <= 10; l++ {
+		s := NewSeq(l)
+		g := s.Growth()
+		// Check the defining equation.
+		lhs := pow(g, l)
+		rhs := pow(g, l-1) + 1
+		if d := lhs - rhs; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("L=%d: growth %v does not satisfy x^L = x^(L-1)+1 (err %v)", l, g, d)
+		}
+		tt := 80
+		if l == 1 {
+			tt = 55 // 2^80 would overflow int64
+		}
+		ratio := float64(s.F(tt)) / float64(s.F(tt-1))
+		// Convergence is geometric in the secondary-root ratio, which
+		// approaches 1 as L grows; a loose tolerance suffices here.
+		if d := ratio - g; d > 5e-4 || d < -5e-4 {
+			t.Fatalf("L=%d: ratio %v vs growth %v", l, ratio, g)
+		}
+	}
+}
+
+func TestGrowthDecreasesWithL(t *testing.T) {
+	prev := 3.0
+	for l := 1; l <= 12; l++ {
+		g := NewSeq(l).Growth()
+		if g >= prev {
+			t.Fatalf("growth not decreasing at L=%d: %v >= %v", l, g, prev)
+		}
+		if g <= 1 {
+			t.Fatalf("growth %v <= 1 at L=%d", g, l)
+		}
+		prev = g
+	}
+}

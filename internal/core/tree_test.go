@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"logpopt/internal/logp"
+)
+
+func TestTreeAccessors(t *testing.T) {
+	m := logp.MustNew(8, 6, 2, 4)
+	tr := OptimalTree(m, 8)
+	if got := len(tr.Leaves()) + len(tr.Internal()); got != 8 {
+		t.Fatalf("leaves+internal = %d, want 8", got)
+	}
+	if tr.SumLabels() != 0+10+14+18+20+22+24+24 {
+		t.Fatalf("SumLabels = %d", tr.SumLabels())
+	}
+	h := tr.DelayHistogram()
+	if h[24] != 2 || h[0] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	if got := tr.SendTime(0, 2); got != 8 {
+		t.Fatalf("SendTime(0,2) = %d, want 8", got)
+	}
+}
+
+func TestTreeValidateRejections(t *testing.T) {
+	m := logp.Postal(4, 2)
+	mk := func() *Tree { return OptimalTree(m, 4) }
+
+	tr := mk()
+	tr.Nodes[1].Label++ // break eager labeling
+	if err := tr.Validate(true); err == nil {
+		t.Fatal("strict validation accepted broken label")
+	}
+
+	tr2 := mk()
+	tr2.Nodes[1].Label-- // infeasible (earlier than possible)
+	if err := tr2.Validate(false); err == nil {
+		t.Fatal("slack validation accepted infeasible label")
+	}
+
+	tr3 := mk()
+	tr3.Nodes[0].Label = 5
+	if err := tr3.Validate(false); err == nil {
+		t.Fatal("nonzero root label accepted")
+	}
+
+	tr4 := mk()
+	tr4.Nodes[1].Parent = 2
+	if err := tr4.Validate(false); err == nil {
+		t.Fatal("parent/child mismatch accepted")
+	}
+
+	if err := (&Tree{M: m}).Validate(false); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestTreeUnreachableNode(t *testing.T) {
+	m := logp.Postal(3, 2)
+	tr := &Tree{M: m, Nodes: []Node{
+		{Label: 0, Parent: -1},
+		{Label: 2, Parent: 0},
+		{Label: 9, Parent: 0}, // not listed as a child
+	}}
+	tr.Nodes[0].Children = []int{1}
+	if err := tr.Validate(false); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable node not flagged: %v", err)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	m := logp.Postal(3, 2)
+	tr := OptimalTree(m, 3)
+	out := tr.String()
+	if !strings.Contains(out, "0 @0") || !strings.Contains(out, "@2") {
+		t.Fatalf("String output unexpected:\n%s", out)
+	}
+}
+
+func TestTreeDOT(t *testing.T) {
+	m := logp.Postal(5, 2)
+	tr := OptimalTree(m, 5)
+	dot := tr.DOT("t5")
+	for _, w := range []string{"digraph \"t5\"", "n0 [label=\"P0@0\"]", "n0 -> n1;"} {
+		if !strings.Contains(dot, w) {
+			t.Fatalf("DOT missing %q:\n%s", w, dot)
+		}
+	}
+	// Edge count = P-1.
+	if got := strings.Count(dot, "->"); got != 4 {
+		t.Fatalf("DOT has %d edges, want 4", got)
+	}
+}

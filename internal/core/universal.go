@@ -1,0 +1,141 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"logpopt/internal/logp"
+)
+
+// SendStride returns the minimum spacing between the starts of successive
+// sends at one processor: max(g, o). In the LogP model successive
+// transmissions are separated by at least g, and the per-send overhead keeps
+// the processor busy for o; the paper's machines all satisfy g >= o, in which
+// case the stride is exactly g and the universal tree below coincides with
+// Definition 2.3 of the paper.
+func SendStride(m logp.Machine) logp.Time {
+	if m.O > m.G {
+		return m.O
+	}
+	return m.G
+}
+
+// candidate is a potential next node of the universal optimal broadcast tree:
+// the childIdx-th child of parent, which would carry the given label.
+type candidate struct {
+	label    logp.Time
+	parent   int // index of parent node in the tree under construction
+	childIdx int // 0-based position among the parent's children
+}
+
+// candHeap orders candidates by label, breaking ties by parent index then
+// child index so that tree construction is deterministic ("leftmost" fill).
+type candHeap []candidate
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].label != h[j].label {
+		return h[i].label < h[j].label
+	}
+	if h[i].parent != h[j].parent {
+		return h[i].parent < h[j].parent
+	}
+	return h[i].childIdx < h[j].childIdx
+}
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h candHeap) Peek() candidate    { return h[0] }
+func (h *candHeap) PushC(c candidate) { heap.Push(h, c) }
+
+// OptimalTree returns the rooted, ordered broadcast tree ß(P) of Definition
+// 2.4: the subtree of the universal optimal broadcast tree consisting of the
+// P nodes with smallest labels (ties broken deterministically). By Theorem
+// 2.1 it is an optimal single-item broadcast tree for the machine, and its
+// maximum label is B(P; L,o,g).
+//
+// In the universal tree the root has label 0 and a node with label t has
+// children labeled t + i*stride + L + 2o for i >= 0, where stride =
+// SendStride(m) (= g whenever g >= o, per the paper).
+//
+// OptimalTree panics if p < 1 or the machine is invalid.
+func OptimalTree(m logp.Machine, p int) *Tree {
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("core: OptimalTree: %v", err))
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("core: OptimalTree requires P >= 1, got %d", p))
+	}
+	d := m.D()
+	stride := SendStride(m)
+	t := &Tree{M: m, Nodes: make([]Node, 0, p)}
+	t.Nodes = append(t.Nodes, Node{Label: 0, Parent: -1})
+	h := &candHeap{}
+	h.PushC(candidate{label: d, parent: 0, childIdx: 0})
+	for len(t.Nodes) < p {
+		c := heap.Pop(h).(candidate)
+		idx := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{Label: c.label, Parent: c.parent})
+		t.Nodes[c.parent].Children = append(t.Nodes[c.parent].Children, idx)
+		// The new node's own first child.
+		h.PushC(candidate{label: c.label + d, parent: idx, childIdx: 0})
+		// The parent's next child: one stride later than this one.
+		h.PushC(candidate{
+			label:    c.label + stride,
+			parent:   c.parent,
+			childIdx: c.childIdx + 1,
+		})
+	}
+	return t
+}
+
+// B returns the optimal single-item broadcast time B(P; L,o,g): the time at
+// which the datum first reaches all P processors under an optimal schedule
+// (Definition 2.1). B(1) = 0.
+func B(m logp.Machine, p int) logp.Time {
+	if p == 1 {
+		return 0
+	}
+	return OptimalTree(m, p).MaxLabel()
+}
+
+// Pt returns P(t; L,o,g), the maximum number of processors reachable by a
+// single-item broadcast within t time steps (Definition 2.2): the number of
+// nodes of the universal optimal broadcast tree with label <= t. The count
+// saturates at maxCount to avoid exponential blowup; pass maxCount <= 0 for
+// the default of 1<<40.
+func Pt(m logp.Machine, t logp.Time, maxCount int64) int64 {
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("core: Pt: %v", err))
+	}
+	if maxCount <= 0 {
+		maxCount = 1 << 40
+	}
+	if t < 0 {
+		return 0
+	}
+	d := m.D()
+	stride := SendStride(m)
+	// memo[τ] = number of nodes with label <= τ in a subtree whose root has
+	// label 0, for the universal tree shape (root at any label looks the
+	// same shifted). memo[τ] = 1 + Σ_{i>=0, d+i*stride <= τ} memo[τ-d-i*stride].
+	memo := make([]int64, t+1)
+	for tau := logp.Time(0); tau <= t; tau++ {
+		n := int64(1)
+		for off := d; off <= tau; off += stride {
+			n += memo[tau-off]
+			if n >= maxCount {
+				n = maxCount
+				break
+			}
+		}
+		memo[tau] = n
+	}
+	return memo[t]
+}
+
+// PostalPt cross-checks Theorem 2.2: in the postal model (o=0, g=1) with
+// latency L, P(t) equals the generalized Fibonacci number f_t.
+func PostalPt(l int, t int) int64 {
+	return NewSeq(l).F(t)
+}

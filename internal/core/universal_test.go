@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"logpopt/internal/logp"
+)
+
+func TestFigure1Tree(t *testing.T) {
+	// Figure 1: P=8, L=6, g=4, o=2. Parent-to-child delay L+2o = 10,
+	// sibling stride g = 4. The eight smallest universal-tree labels are
+	// 0, 10, 14, 18, 20, 22, 24, 24 and B(8) = 24.
+	m := logp.MustNew(8, 6, 2, 4)
+	tr := OptimalTree(m, 8)
+	var labels []int64
+	for _, n := range tr.Nodes {
+		labels = append(labels, n.Label)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	want := []int64{0, 10, 14, 18, 20, 22, 24, 24}
+	for i, w := range want {
+		if labels[i] != w {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	if got := B(m, 8); got != 24 {
+		t.Fatalf("B(8;6,2,4) = %d, want 24", got)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatalf("Figure 1 tree invalid: %v", err)
+	}
+	// The root sends 4 messages (at 0, 4, 8, 12); labels 10, 14, 18, 22.
+	if got := len(tr.Nodes[0].Children); got != 4 {
+		t.Fatalf("root has %d children, want 4", got)
+	}
+}
+
+func TestPostalTreeT9(t *testing.T) {
+	// Section 3.2's running example: L=3 postal, P-1 = P(7) = 9. The
+	// optimal tree T9 has root with 5 children; the delay histogram is
+	// c(0)=1, c(3)=c(4)=c(5)=1, c(6)=2, c(7)=3.
+	m := logp.Postal(9, 3)
+	tr := OptimalTree(m, 9)
+	if got := B(m, 9); got != 7 {
+		t.Fatalf("B(9; postal L=3) = %d, want 7", got)
+	}
+	if got := len(tr.Nodes[0].Children); got != 5 {
+		t.Fatalf("root of T9 has %d children, want 5", got)
+	}
+	h := tr.DelayHistogram()
+	want := map[logp.Time]int{0: 1, 3: 1, 4: 1, 5: 1, 6: 2, 7: 3}
+	for d, c := range want {
+		if h[d] != c {
+			t.Fatalf("delay histogram %v, want %v", h, want)
+		}
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatalf("T9 invalid: %v", err)
+	}
+}
+
+func TestPtMatchesSeqInPostalModel(t *testing.T) {
+	// Theorem 2.2: P(t; L, 0, 1) = f_t.
+	for l := 1; l <= 10; l++ {
+		s := NewSeq(l)
+		for tt := int64(0); tt <= 25; tt++ {
+			m := logp.Postal(2, logp.Time(l))
+			if got, want := Pt(m, tt, 0), s.F(int(tt)); got != want {
+				t.Fatalf("L=%d t=%d: Pt=%d, f_t=%d", l, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestPtMatchesTreeEnumeration(t *testing.T) {
+	// Pt (DP recurrence) must agree with brute-force label counting via
+	// OptimalTree across assorted machines.
+	machines := []logp.Machine{
+		logp.MustNew(2, 6, 2, 4),
+		logp.MustNew(2, 5, 2, 4),
+		logp.MustNew(2, 3, 1, 2),
+		logp.MustNew(2, 10, 0, 3),
+		logp.MustNew(2, 1, 0, 1),
+		logp.MustNew(2, 4, 3, 2), // o > g: stride = o
+	}
+	for _, m := range machines {
+		for tt := logp.Time(0); tt <= 40; tt++ {
+			want := Pt(m, tt, 0)
+			if want > 5000 {
+				break // keep the brute-force enumeration tractable
+			}
+			// Enumerate: build a tree with "want" nodes; its max label
+			// must be <= tt, and one more node would exceed tt.
+			tr := OptimalTree(m, int(want))
+			if got := tr.MaxLabel(); got > tt {
+				t.Fatalf("%v t=%d: Pt=%d but tree max label %d > t", m, tt, want, got)
+			}
+			tr2 := OptimalTree(m, int(want)+1)
+			if got := tr2.MaxLabel(); got <= tt {
+				t.Fatalf("%v t=%d: Pt=%d but %d nodes fit within t", m, tt, want, want+1)
+			}
+		}
+	}
+}
+
+func TestBAndPtAreInverse(t *testing.T) {
+	f := func(l, o, g, p uint8) bool {
+		m := logp.Machine{P: 2, L: logp.Time(l%8) + 1, O: logp.Time(o % 4), G: logp.Time(g%4) + 1}
+		pp := int(p%40) + 1
+		b := B(m, pp)
+		// P(b) >= pp and, for pp > 1, P(b-1) < pp.
+		if Pt(m, b, 0) < int64(pp) {
+			return false
+		}
+		if pp > 1 && Pt(m, b-1, 0) >= int64(pp) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMonotone(t *testing.T) {
+	m := logp.MustNew(2, 6, 2, 4)
+	prev := logp.Time(-1)
+	for p := 1; p <= 200; p++ {
+		b := B(m, p)
+		if b < prev {
+			t.Fatalf("B not monotone at P=%d: %d < %d", p, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBPostalEqualsInvF(t *testing.T) {
+	for l := 1; l <= 8; l++ {
+		s := NewSeq(l)
+		for p := 1; p <= 300; p++ {
+			m := logp.Postal(p, logp.Time(l))
+			want := logp.Time(0)
+			if p > 1 {
+				want = logp.Time(s.InvF(int64(p)))
+			} else {
+				want = 0
+			}
+			if got := B(m, p); got != want {
+				t.Fatalf("L=%d P=%d: B=%d, InvF=%d", l, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPtSaturates(t *testing.T) {
+	m := logp.Postal(2, 1) // P(t) = 2^t
+	if got := Pt(m, 100, 1000); got != 1000 {
+		t.Fatalf("Pt with maxCount=1000 returned %d", got)
+	}
+}
+
+func TestSendStride(t *testing.T) {
+	if got := SendStride(logp.MustNew(2, 6, 2, 4)); got != 4 {
+		t.Fatalf("stride = %d, want g=4", got)
+	}
+	if got := SendStride(logp.MustNew(2, 6, 5, 4)); got != 5 {
+		t.Fatalf("stride = %d, want o=5 when o > g", got)
+	}
+}
+
+func TestOptimalTreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OptimalTree(P=0) did not panic")
+		}
+	}()
+	OptimalTree(logp.Postal(2, 3), 0)
+}

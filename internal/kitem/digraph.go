@@ -1,0 +1,169 @@
+package kitem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"logpopt/internal/continuous"
+)
+
+// BlockDigraph is the block transmission digraph of Section 3.4 (Figure 3):
+// one vertex per processor block, labeled with the block's size, plus a
+// vertex labeled 0 for the receive-only processor. An edge A -> B with
+// weight w means w transmissions of any fixed item flow from processors of
+// block A to processors of block B; Active marks the edges that carry the
+// item to a processor that will itself forward it (a "sender", i.e. an
+// internal tree node), including the source's transmission to the largest
+// block.
+type BlockDigraph struct {
+	Labels []int // vertex labels: block sizes; Labels[len-1] = 0 (receive-only)
+	Weight map[[2]int]int
+	Active map[[2]int]int // active transmissions per edge
+	Source int            // vertex receiving the source's active transmission
+}
+
+// DeriveBlockDigraph derives the digraph from a solved block-cyclic
+// assignment. The edge structure is identical for every item (the schedule
+// is block-cyclic), so it is computed for item 0.
+func DeriveBlockDigraph(a *continuous.Assignment) *BlockDigraph {
+	inst := a.Inst
+	nBlocks := len(inst.Blocks)
+	g := &BlockDigraph{
+		Labels: make([]int, nBlocks+1),
+		Weight: make(map[[2]int]int),
+		Active: make(map[[2]int]int),
+	}
+	for bi, b := range inst.Blocks {
+		g.Labels[bi] = b.Size
+	}
+	g.Labels[nBlocks] = 0 // receive-only vertex
+	recvOnlyVertex := nBlocks
+
+	blockOfProc := make(map[int]int)
+	for bi, procs := range a.BlockProcs {
+		for _, q := range procs {
+			blockOfProc[q] = bi
+		}
+	}
+	blockOfProc[a.RecvOnly] = recvOnlyVertex
+
+	blockOfNode := make(map[int]int) // tree node -> block vertex of its handler
+	const item = 0
+	for ni := range inst.Tree.Nodes {
+		blockOfNode[ni] = blockOfProc[a.ProcFor(item, ni)]
+	}
+	// The source's transmission to the root.
+	g.Source = blockOfNode[0]
+	g.Active[[2]int{-1, g.Source}]++
+	for ni, nd := range inst.Tree.Nodes {
+		from := blockOfNode[ni]
+		for _, ci := range nd.Children {
+			to := blockOfNode[ci]
+			e := [2]int{from, to}
+			g.Weight[e]++
+			if len(inst.Tree.Nodes[ci].Children) > 0 {
+				g.Active[e]++
+			}
+		}
+	}
+	return g
+}
+
+// Verify checks the degree constraints of Section 3.4: for each block of
+// size r > 0, the weights of the edges into it (plus the source edge for the
+// root block) sum to r, as do the weights out of it; the receive-only vertex
+// has in-weight 1 and out-weight 0.
+func (g *BlockDigraph) Verify() error {
+	n := len(g.Labels)
+	in := make([]int, n)
+	out := make([]int, n)
+	for e, w := range g.Weight {
+		if e[0] >= 0 {
+			out[e[0]] += w
+		}
+		in[e[1]] += w
+	}
+	in[g.Source]++ // the source's active transmission
+	for v, r := range g.Labels {
+		if r == 0 {
+			if in[v] != 1 || out[v] != 0 {
+				return fmt.Errorf("kitem: receive-only vertex has in=%d out=%d, want 1/0", in[v], out[v])
+			}
+			continue
+		}
+		if in[v] != r {
+			return fmt.Errorf("kitem: block of size %d has in-weight %d", r, in[v])
+		}
+		if out[v] != r {
+			return fmt.Errorf("kitem: block of size %d has out-weight %d", r, out[v])
+		}
+	}
+	return nil
+}
+
+// String renders the digraph as sorted edge lines, e.g. "9 -> 6 w=2 (1 active)".
+func (g *BlockDigraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "source -> block[%d] (active)\n", g.Labels[g.Source])
+	type row struct {
+		from, to, w, act int
+	}
+	var rows []row
+	for e, w := range g.Weight {
+		rows = append(rows, row{e[0], e[1], w, g.Active[e]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, c := rows[i], rows[j]
+		if g.Labels[a.from] != g.Labels[c.from] {
+			return g.Labels[a.from] > g.Labels[c.from]
+		}
+		if a.from != c.from {
+			return a.from < c.from
+		}
+		if g.Labels[a.to] != g.Labels[c.to] {
+			return g.Labels[a.to] > g.Labels[c.to]
+		}
+		return a.to < c.to
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "block[%d]#%d -> block[%d]#%d w=%d", g.Labels[r.from], r.from, g.Labels[r.to], r.to, r.w)
+		if r.act > 0 {
+			fmt.Fprintf(&b, " (%d active)", r.act)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DOT renders the block transmission digraph in GraphViz format: active
+// transmissions are drawn bold, as in Figure 3.
+func (g *BlockDigraph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  node [shape=circle];\n", name)
+	for v, r := range g.Labels {
+		fmt.Fprintf(&b, "  v%d [label=\"%d\"];\n", v, r)
+	}
+	fmt.Fprintf(&b, "  src [label=\"source\", shape=box];\n  src -> v%d [style=bold];\n", g.Source)
+	type row struct{ from, to int }
+	var rows []row
+	for e := range g.Weight {
+		rows = append(rows, row{e[0], e[1]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].from != rows[j].from {
+			return rows[i].from < rows[j].from
+		}
+		return rows[i].to < rows[j].to
+	})
+	for _, r := range rows {
+		e := [2]int{r.from, r.to}
+		style := ""
+		if g.Active[e] > 0 {
+			style = ", style=bold"
+		}
+		fmt.Fprintf(&b, "  v%d -> v%d [label=\"%d\"%s];\n", r.from, r.to, g.Weight[e], style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,364 @@
+package kitem
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+func TestBoundsRunningExample(t *testing.T) {
+	// k=8, L=3, P-1=9 (Figure 2): B=7, k*=2, lower bound 15,
+	// single-sending 17, Theorem 3.6 upper 19.
+	b := BoundsFor(3, 10, 8)
+	if b.B != 7 || b.KStar != 2 || b.Lower != 15 || b.SingleSending != 17 || b.Upper != 19 {
+		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestViaContinuousFigure2(t *testing.T) {
+	// Figure 2's complete 8-item broadcast on P-1 = 9, L = 3 runs through
+	// time step 17 = B(P-1) + L + k - 1; our block-cyclic schedule must
+	// finish there too (the single-sending optimum).
+	_, s, err := ViaContinuous(3, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := schedule.ValidateBroadcast(s, Origins(8)); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if got := s.LastRecv(); got != 17 {
+		t.Fatalf("finish %d, want 17", got)
+	}
+}
+
+func TestViaContinuousFigure5(t *testing.T) {
+	// Figure 5: L=3, P-1=13, k=14 completes at time 24 on the buffered
+	// model; our block-cyclic route achieves 24 = B(13)+L+k-1 with no
+	// buffering at all (P-1 = P(8) = 13).
+	_, s, err := ViaContinuous(3, 8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := schedule.ValidateBroadcast(s, Origins(14)); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if got := s.LastRecv(); got != 24 {
+		t.Fatalf("finish %d, want 24", got)
+	}
+}
+
+func TestViaContinuousMeetsSingleSendingBound(t *testing.T) {
+	for l := 3; l <= 6; l++ {
+		seq := core.NewSeq(l)
+		for tt := l; tt <= l+8; tt++ {
+			p := int(seq.F(tt)) + 1
+			for _, k := range []int{1, 3, 7} {
+				_, s, err := ViaContinuous(l, tt, k)
+				if err != nil {
+					continue // unsolvable instance (e.g. L=4 t=8)
+				}
+				want := seq.SingleSendingLowerBound(p, int64(k))
+				if got := int64(s.LastRecv()); got != want {
+					t.Fatalf("L=%d t=%d k=%d: finish %d, want %d", l, tt, k, got, want)
+				}
+				if vs := schedule.ValidateBroadcast(s, Origins(k)); len(vs) != 0 {
+					t.Fatalf("L=%d t=%d k=%d: %v", l, tt, k, vs[0])
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyStrict(t *testing.T) {
+	for _, c := range []struct {
+		l    logp.Time
+		p, k int
+	}{
+		{2, 5, 4}, {3, 10, 8}, {3, 14, 5}, {4, 11, 6}, {2, 21, 10}, {5, 12, 3}, {1, 8, 5},
+	} {
+		res, err := Greedy(c.l, c.p, c.k, Strict)
+		if err != nil {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, err)
+		}
+		vs := schedule.ValidateBroadcast(res.Schedule, Origins(c.k))
+		if len(vs) != 0 {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, vs[0])
+		}
+		b := BoundsFor(int(c.l), c.p, int64(c.k))
+		if int64(res.Finish) < b.Lower {
+			t.Fatalf("L=%d P=%d k=%d: finish %d beats the lower bound %d", c.l, c.p, c.k, res.Finish, b.Lower)
+		}
+	}
+}
+
+func TestGreedyBuffered(t *testing.T) {
+	for _, c := range []struct {
+		l    logp.Time
+		p, k int
+	}{
+		{3, 10, 8}, {3, 14, 14}, {4, 11, 6}, {2, 22, 9},
+	} {
+		res, err := Greedy(c.l, c.p, c.k, Buffered)
+		if err != nil {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, err)
+		}
+		vs := schedule.ValidateDeferred(res.Schedule)
+		vs = append(vs, schedule.CheckAvailability(res.Schedule, Origins(c.k))...)
+		vs = append(vs, schedule.CheckBroadcastComplete(res.Schedule, Origins(c.k))...)
+		if len(vs) != 0 {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, vs[0])
+		}
+		b := BoundsFor(int(c.l), c.p, int64(c.k))
+		if int64(res.Finish) < b.Lower {
+			t.Fatalf("L=%d P=%d k=%d: finish %d beats the lower bound %d", c.l, c.p, c.k, res.Finish, b.Lower)
+		}
+	}
+}
+
+func TestGreedyRejectsBadInstance(t *testing.T) {
+	if _, err := Greedy(3, 1, 4, Strict); err == nil {
+		t.Fatal("P=1 accepted")
+	}
+	if _, err := Greedy(3, 4, 0, Strict); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Greedy(0, 4, 2, Strict); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+}
+
+func TestGreedySingleSendingSource(t *testing.T) {
+	res, err := Greedy(3, 9, 6, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := map[int]int{}
+	for _, e := range res.Schedule.Events {
+		if e.Op == schedule.OpSend && e.Proc == 0 {
+			sent[e.Item]++
+			if e.Time != logp.Time(e.Item) {
+				t.Fatalf("source sent item %d at %d, want %d", e.Item, e.Time, e.Item)
+			}
+		}
+	}
+	for x := 0; x < 6; x++ {
+		if sent[x] != 1 {
+			t.Fatalf("source sent item %d %d times", x, sent[x])
+		}
+	}
+}
+
+func TestBlockDigraphFigure3(t *testing.T) {
+	// Figure 3: L=3, P-1 = P(11) = 41. Block sizes are one 9, one 6, one 5,
+	// one 4, two 3s, three 2s, four 1s plus the receive-only vertex.
+	inst, _, err := ViaContinuous(3, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := inst.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := DeriveBlockDigraph(a)
+	var sizes []int
+	for _, r := range g.Labels {
+		sizes = append(sizes, r)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	want := []int{9, 6, 5, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1, 0}
+	if len(sizes) != len(want) {
+		t.Fatalf("digraph has %d vertices, want %d", len(sizes), len(want))
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("block sizes %v, want %v", sizes, want)
+		}
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if g.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestBlockDigraphDegreesAcrossInstances(t *testing.T) {
+	for l := 3; l <= 6; l++ {
+		for tt := l + 2; tt <= l+8; tt++ {
+			inst, _, err := ViaContinuous(l, tt, 1)
+			if err != nil {
+				continue
+			}
+			a, err := inst.Assign()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := DeriveBlockDigraph(a).Verify(); err != nil {
+				t.Fatalf("L=%d t=%d: %v", l, tt, err)
+			}
+		}
+	}
+}
+
+func TestStaggeredHitsSingleSendingBound(t *testing.T) {
+	// Theorem 3.8's shape: whenever the staggered buffered scheduler
+	// completes, it completes at exactly the single-sending lower bound
+	// B(P-1)+L+k-1 with a small input buffer (<= 3 observed; the paper
+	// proves 2 suffices for its bespoke construction).
+	for _, c := range []struct {
+		l    logp.Time
+		p, k int
+	}{
+		{3, 10, 8}, {4, 11, 6}, {3, 12, 8}, {3, 17, 10}, {4, 23, 7},
+		{5, 9, 5}, {2, 2, 4}, {6, 30, 9}, {3, 42, 10},
+	} {
+		res, err := Staggered(c.l, c.p, c.k)
+		if err != nil {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, err)
+		}
+		vs := schedule.ValidateDeferred(res.Schedule)
+		vs = append(vs, schedule.CheckAvailability(res.Schedule, Origins(c.k))...)
+		vs = append(vs, schedule.CheckBroadcastComplete(res.Schedule, Origins(c.k))...)
+		if len(vs) != 0 {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, vs[0])
+		}
+		want := BoundsFor(int(c.l), c.p, int64(c.k)).SingleSending
+		if int64(res.Finish) != want {
+			t.Fatalf("L=%d P=%d k=%d: finish %d, want single-sending bound %d", c.l, c.p, c.k, res.Finish, want)
+		}
+		if res.MaxBuffer > 3 {
+			t.Fatalf("L=%d P=%d k=%d: buffer %d exceeds 3", c.l, c.p, c.k, res.MaxBuffer)
+		}
+	}
+}
+
+func TestStaggeredSaturatedInstancesFailGracefully(t *testing.T) {
+	// On saturated instances the per-item matching can fail; the scheduler
+	// must return an error (never an invalid schedule) and the greedy
+	// scheduler must cover the instance.
+	for _, c := range []struct {
+		l    logp.Time
+		p, k int
+	}{
+		{3, 14, 14}, {2, 9, 9}, {3, 25, 12}, {5, 12, 16},
+	} {
+		res, err := Staggered(c.l, c.p, c.k)
+		if err == nil {
+			vs := schedule.ValidateDeferred(res.Schedule)
+			vs = append(vs, schedule.CheckBroadcastComplete(res.Schedule, Origins(c.k))...)
+			if len(vs) != 0 {
+				t.Fatalf("L=%d P=%d k=%d: invalid schedule: %v", c.l, c.p, c.k, vs[0])
+			}
+			continue
+		}
+		if _, gerr := Greedy(c.l, c.p, c.k, Buffered); gerr != nil {
+			t.Fatalf("L=%d P=%d k=%d: greedy fallback failed: %v", c.l, c.p, c.k, gerr)
+		}
+	}
+}
+
+func TestOptimalGeneralHitsSingleSendingBound(t *testing.T) {
+	// Beyond the paper: the general block-cyclic construction achieves the
+	// single-sending optimum for arbitrary P (not only P-1 = P(t)).
+	for _, c := range []struct{ l, p, k int }{
+		{3, 12, 8}, {3, 25, 12}, {3, 40, 9}, {4, 23, 7}, {5, 31, 11}, {2, 15, 6}, {2, 17, 6},
+	} {
+		_, s, err := OptimalGeneral(logp.Time(c.l), c.p, c.k)
+		if err != nil {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, err)
+		}
+		if vs := schedule.ValidateBroadcast(s, Origins(c.k)); len(vs) != 0 {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, vs[0])
+		}
+		want := BoundsFor(c.l, c.p, int64(c.k)).SingleSending
+		if got := int64(s.LastRecv()); got != want {
+			t.Fatalf("L=%d P=%d k=%d: finish %d, want %d", c.l, c.p, c.k, got, want)
+		}
+	}
+}
+
+func TestOptimalGeneralL2NearCapacityFails(t *testing.T) {
+	// For L=2 the near-capacity trees (p-1 close to P(t)) have no
+	// block-cyclic solution — Theorem 3.4's regime.
+	if _, _, err := OptimalGeneral(2, 14, 5); err == nil { // p-1 = 13 = f_6
+		t.Fatal("L=2 p-1=13 unexpectedly solved")
+	}
+}
+
+func TestStaggeredTightCapacityFailsGracefully(t *testing.T) {
+	// Off the P(t) grid with L=2 the capacity bound can defeat the greedy
+	// leaf assignment; the scheduler must fail with an error (not emit an
+	// invalid schedule), and Greedy must still handle the instance.
+	if res, err := Staggered(2, 17, 10); err == nil {
+		vs := schedule.ValidateDeferred(res.Schedule)
+		vs = append(vs, schedule.CheckBroadcastComplete(res.Schedule, Origins(10))...)
+		if len(vs) != 0 {
+			t.Fatalf("staggered returned an invalid schedule: %v", vs[0])
+		}
+	}
+	if _, err := Greedy(2, 17, 10, Buffered); err != nil {
+		t.Fatalf("greedy fallback failed: %v", err)
+	}
+}
+
+func TestStaggeredRejects(t *testing.T) {
+	if _, err := Staggered(3, 1, 2); err == nil {
+		t.Fatal("P=1 accepted")
+	}
+	if _, err := Staggered(3, 4, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestBlockDigraphDOT(t *testing.T) {
+	inst, _, err := ViaContinuous(3, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := inst.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DeriveBlockDigraph(a).DOT("fig3")
+	for _, w := range []string{"digraph \"fig3\"", "src ->", "style=bold"} {
+		if !strings.Contains(dot, w) {
+			t.Fatalf("DOT missing %q:\n%s", w, dot)
+		}
+	}
+}
+
+func TestSearchOptimalTinyInstances(t *testing.T) {
+	// Exhaustive branch-and-bound on tiny instances: Theorem 3.1's lower
+	// bound is achievable (with multi-sending) on every one of these.
+	for _, c := range []struct {
+		l    logp.Time
+		p, k int
+	}{
+		{2, 3, 2}, {2, 4, 2}, {2, 3, 3}, {3, 3, 2}, {2, 5, 2}, {3, 4, 2},
+	} {
+		lb := core.NewSeq(int(c.l)).KItemLowerBound(c.p, int64(c.k))
+		best, done, err := SearchOptimal(c.l, c.p, c.k, 0)
+		if err != nil {
+			t.Fatalf("L=%d P=%d k=%d: %v", c.l, c.p, c.k, err)
+		}
+		if !done {
+			t.Skipf("L=%d P=%d k=%d: budget exhausted (best %d)", c.l, c.p, c.k, best)
+		}
+		if int64(best) != lb {
+			t.Fatalf("L=%d P=%d k=%d: optimal %d, lower bound %d", c.l, c.p, c.k, best, lb)
+		}
+	}
+}
+
+func TestSearchOptimalRejects(t *testing.T) {
+	if _, _, err := SearchOptimal(3, 20, 2, 0); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+	if _, _, err := SearchOptimal(3, 1, 2, 0); err == nil {
+		t.Fatal("P=1 accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package logp defines the LogP machine model of Culler et al. (PPoPP 1993),
+// the substrate on which every algorithm in Karp, Sahay, Santos and Schauser,
+// "Optimal Broadcast and Summation in the LogP Model" (SPAA 1993), operates.
+//
+// A LogP machine is described by four parameters:
+//
+//   - P, the number of processor/memory pairs;
+//   - L, the latency, an upper bound on the delay incurred by a message
+//     travelling from its source to its destination;
+//   - o, the overhead, the time for which a processor is busy during the
+//     transmission or reception of a message;
+//   - g, the gap, a lower bound on the time between consecutive message
+//     transmissions (or consecutive receptions) at the same processor.
+//
+// All times are in processor cycles. The network has finite capacity: at most
+// ceil(L/g) messages may be in transit from any processor, or to any
+// processor, at any time.
+//
+// The postal model of Bar-Noy and Kipnis is the special case o = 0, g = 1;
+// Sections 3 of the paper are set in that model.
+package logp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Time is a point or duration on the machine's cycle clock.
+type Time = int64
+
+// Machine holds the four LogP parameters. The zero value is not a valid
+// machine; construct one with New or validate with Validate.
+type Machine struct {
+	P int  // number of processors
+	L Time // latency
+	O Time // per-message send/receive overhead
+	G Time // gap between consecutive sends or receives at one processor
+}
+
+// Errors returned by Validate.
+var (
+	ErrBadP = errors.New("logp: P must be at least 1")
+	ErrBadL = errors.New("logp: L must be at least 1")
+	ErrBadO = errors.New("logp: o must be non-negative")
+	ErrBadG = errors.New("logp: g must be at least 1")
+)
+
+// New returns a validated machine.
+func New(p int, l, o, g Time) (Machine, error) {
+	m := Machine{P: p, L: l, O: o, G: g}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on invalid parameters. Intended for tests,
+// examples and package-level machine profiles.
+func MustNew(p int, l, o, g Time) Machine {
+	m, err := New(p, l, o, g)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Postal returns the postal-model machine with latency l: o = 0, g = 1.
+// This is the model of Section 3 of the paper.
+func Postal(p int, l Time) Machine {
+	return Machine{P: p, L: l, O: 0, G: 1}
+}
+
+// Validate reports whether the parameters describe a meaningful machine.
+func (m Machine) Validate() error {
+	switch {
+	case m.P < 1:
+		return fmt.Errorf("%w (got %d)", ErrBadP, m.P)
+	case m.L < 1:
+		return fmt.Errorf("%w (got %d)", ErrBadL, m.L)
+	case m.O < 0:
+		return fmt.Errorf("%w (got %d)", ErrBadO, m.O)
+	case m.G < 1:
+		return fmt.Errorf("%w (got %d)", ErrBadG, m.G)
+	}
+	return nil
+}
+
+// IsPostal reports whether the machine is a postal-model machine (o=0, g=1).
+func (m Machine) IsPostal() bool { return m.O == 0 && m.G == 1 }
+
+// Capacity returns the network capacity bound ceil(L/g): the maximum number
+// of messages that may be in transit from any processor, or to any processor,
+// at any time.
+func (m Machine) Capacity() int {
+	return int((m.L + m.G - 1) / m.G)
+}
+
+// D returns the parent-to-first-child delay of the universal optimal
+// broadcast tree: L + 2o. A message made available at time t on one processor
+// is first available on another at t + o + L + o.
+func (m Machine) D() Time { return m.L + 2*m.O }
+
+// SendRecvSpan returns the end-to-end time of a single point-to-point
+// message: o (send overhead) + L (flight) + o (receive overhead).
+func (m Machine) SendRecvSpan() Time { return m.L + 2*m.O }
+
+// String renders the machine in the paper's notation.
+func (m Machine) String() string {
+	return fmt.Sprintf("LogP(P=%d, L=%d, o=%d, g=%d)", m.P, m.L, m.O, m.G)
+}
+
+// WithP returns a copy of the machine with the processor count replaced.
+func (m Machine) WithP(p int) Machine {
+	m.P = p
+	return m
+}
+
+// Profiles of real machines from the LogP literature, usable in examples and
+// benchmark sweeps. Cycle counts follow the published LogP measurements
+// (order-of-magnitude; the shapes, not the absolute numbers, matter here).
+var (
+	// ProfileCM5 approximates a Thinking Machines CM-5 node as measured by
+	// Culler et al.: sub-microsecond overhead, small gap, modest latency.
+	ProfileCM5 = Machine{P: 64, L: 6, O: 2, G: 4}
+	// ProfilePaperFig1 is the machine of Figure 1 of the paper.
+	ProfilePaperFig1 = Machine{P: 8, L: 6, O: 2, G: 4}
+	// ProfilePaperFig6 is the machine of Figure 6 of the paper.
+	ProfilePaperFig6 = Machine{P: 8, L: 5, O: 2, G: 4}
+	// ProfileEthernetCluster approximates a workstation cluster: large
+	// latency and overhead relative to the processor clock.
+	ProfileEthernetCluster = Machine{P: 16, L: 40, O: 10, G: 12}
+	// ProfileLowLatency approximates a tightly coupled MPP with wormhole
+	// routing: latency dominates a tiny overhead.
+	ProfileLowLatency = Machine{P: 128, L: 8, O: 1, G: 2}
+)

@@ -1,0 +1,130 @@
+package logp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	m, err := New(8, 6, 2, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if m.P != 8 || m.L != 6 || m.O != 2 || m.G != 4 {
+		t.Fatalf("New stored wrong params: %+v", m)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Machine
+	}{
+		{"P=0", Machine{P: 0, L: 1, O: 0, G: 1}},
+		{"P<0", Machine{P: -3, L: 1, O: 0, G: 1}},
+		{"L=0", Machine{P: 2, L: 0, O: 0, G: 1}},
+		{"L<0", Machine{P: 2, L: -1, O: 0, G: 1}},
+		{"o<0", Machine{P: 2, L: 1, O: -1, G: 1}},
+		{"g=0", Machine{P: 2, L: 1, O: 0, G: 0}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid machine %v", c.name, c.m)
+		}
+		if _, err := New(c.m.P, c.m.L, c.m.O, c.m.G); err == nil {
+			t.Errorf("%s: New accepted invalid machine %v", c.name, c.m)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid machine")
+		}
+	}()
+	MustNew(0, 1, 0, 1)
+}
+
+func TestPostal(t *testing.T) {
+	m := Postal(10, 3)
+	if !m.IsPostal() {
+		t.Fatalf("Postal machine not recognized as postal: %v", m)
+	}
+	if m.L != 3 || m.P != 10 {
+		t.Fatalf("Postal stored wrong params: %v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Postal machine invalid: %v", err)
+	}
+	if ProfileCM5.IsPostal() {
+		t.Fatal("CM5 profile should not be postal")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cases := []struct {
+		l, g Time
+		want int
+	}{
+		{6, 4, 2}, {6, 1, 6}, {1, 1, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3}, {3, 5, 1},
+	}
+	for _, c := range cases {
+		m := Machine{P: 2, L: c.l, O: 0, G: c.g}
+		if got := m.Capacity(); got != c.want {
+			t.Errorf("Capacity(L=%d,g=%d) = %d, want %d", c.l, c.g, got, c.want)
+		}
+	}
+}
+
+func TestCapacityProperty(t *testing.T) {
+	// Capacity is ceil(L/g): capacity*g >= L > (capacity-1)*g.
+	f := func(l, g uint8) bool {
+		m := Machine{P: 2, L: Time(l%60) + 1, O: 0, G: Time(g%20) + 1}
+		c := Time(m.Capacity())
+		return c*m.G >= m.L && (c-1)*m.G < m.L
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDAndSpan(t *testing.T) {
+	m := Machine{P: 8, L: 6, O: 2, G: 4}
+	if m.D() != 10 {
+		t.Fatalf("D = %d, want 10", m.D())
+	}
+	if m.SendRecvSpan() != 10 {
+		t.Fatalf("SendRecvSpan = %d, want 10", m.SendRecvSpan())
+	}
+	pm := Postal(4, 7)
+	if pm.D() != 7 {
+		t.Fatalf("postal D = %d, want 7", pm.D())
+	}
+}
+
+func TestWithP(t *testing.T) {
+	m := ProfileCM5.WithP(256)
+	if m.P != 256 || m.L != ProfileCM5.L {
+		t.Fatalf("WithP changed wrong fields: %v", m)
+	}
+	if ProfileCM5.P != 64 {
+		t.Fatal("WithP mutated the original profile")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Machine{P: 8, L: 6, O: 2, G: 4}.String()
+	want := "LogP(P=8, L=6, o=2, g=4)"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, m := range []Machine{ProfileCM5, ProfilePaperFig1, ProfilePaperFig6, ProfileEthernetCluster, ProfileLowLatency} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("profile %v invalid: %v", m, err)
+		}
+	}
+}

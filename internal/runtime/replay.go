@@ -1,0 +1,54 @@
+package runtime
+
+import (
+	"sort"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// ScheduleHandlers converts a communication schedule into per-processor
+// handlers that replay its send events at their scheduled virtual times.
+// Receptions are left to the runtime's port discipline, so running the
+// handlers and comparing the resulting trace against the schedule's own recv
+// events cross-checks the schedule's arrival bookkeeping against a second,
+// independently implemented machine.
+//
+// The payload of every replayed message is its item id.
+func ScheduleHandlers(s *schedule.Schedule) []Handler {
+	perProc := make([][]schedule.Event, s.M.P)
+	for _, ev := range s.Events {
+		if ev.Op == schedule.OpSend && ev.Proc >= 0 && ev.Proc < s.M.P {
+			perProc[ev.Proc] = append(perProc[ev.Proc], ev)
+		}
+	}
+	handlers := make([]Handler, s.M.P)
+	for p := range perProc {
+		evs := perProc[p]
+		if len(evs) == 0 {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+		next := 0
+		handlers[p] = func(pr *Proc, now logp.Time) {
+			for next < len(evs) && evs[next].Time == now {
+				ev := evs[next]
+				next++
+				_ = pr.Send(now, ev.Peer, ev.Item, ev.Item)
+			}
+		}
+	}
+	return handlers
+}
+
+// Horizon returns a virtual-time bound by which a schedule's replay is
+// certainly finished: last send + o + L + o + 1.
+func Horizon(s *schedule.Schedule) logp.Time {
+	var last logp.Time
+	for _, ev := range s.Events {
+		if ev.Op == schedule.OpSend && ev.Time > last {
+			last = ev.Time
+		}
+	}
+	return last + 2*s.M.O + s.M.L + 2
+}

@@ -1,0 +1,297 @@
+// Package runtime is a goroutine-based message-passing runtime that executes
+// LogP algorithms as real concurrent programs. One goroutine runs per
+// processor; a coordinator advances a virtual clock in lockstep steps, and
+// messages travel between goroutines with the machine's latency while the
+// ports obey the overhead and gap rules.
+//
+// This is the repository's stand-in for the distributed-memory hardware the
+// paper targets: the algorithms' communication schedules run unmodified as
+// concurrent message-passing code, with payloads (not just item ids) so that
+// combining and summation actually compute.
+//
+// Determinism: each processor goroutine touches only its own state during a
+// step; the coordinator merges outboxes in processor order, so runs are
+// reproducible despite real concurrency.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// Message is a payload-carrying message between processors.
+type Message struct {
+	From, To int
+	Item     int
+	Payload  any
+	SentAt   logp.Time
+	Arrive   logp.Time // SentAt + o + L
+	RecvdAt  logp.Time // time reception began (set on delivery)
+}
+
+// Proc is the per-processor handle passed to handlers. Handlers must only
+// use their own Proc; the runtime runs handlers for distinct processors
+// concurrently.
+type Proc struct {
+	ID    int
+	State any // handler-owned state
+
+	rt            *Runtime
+	outbox        []Message
+	inboxThisStep []Message // messages received this step (post-discipline)
+	queue         []Message // arrived but not yet received (buffered mode)
+	lastSendStart logp.Time
+	lastRecvStart logp.Time
+	busyUntil     logp.Time
+	maxQueue      int
+	sentThisStep  bool
+	err           error
+}
+
+const minusInf = logp.Time(-1) << 40
+
+// CanSend reports whether this processor's send port is free this step.
+func (p *Proc) CanSend(now logp.Time) bool {
+	return now >= p.lastSendStart+p.rt.m.G && now >= p.busyUntil && !p.sentThisStep
+}
+
+// Send queues a message for transmission beginning at the current step. At
+// most one send may start per step per processor, and the gap/overhead rules
+// apply; violations are recorded and fail the run.
+func (p *Proc) Send(now logp.Time, to, item int, payload any) error {
+	if to < 0 || to >= p.rt.m.P || to == p.ID {
+		err := fmt.Errorf("runtime: proc %d: bad destination %d", p.ID, to)
+		p.fail(err)
+		return err
+	}
+	if !p.CanSend(now) {
+		err := fmt.Errorf("runtime: proc %d: send port busy at %d", p.ID, now)
+		p.fail(err)
+		return err
+	}
+	p.sentThisStep = true
+	p.lastSendStart = now
+	if end := now + p.rt.m.O; end > p.busyUntil {
+		p.busyUntil = end
+	}
+	p.outbox = append(p.outbox, Message{
+		From: p.ID, To: to, Item: item, Payload: payload,
+		SentAt: now, Arrive: now + p.rt.m.O + p.rt.m.L,
+	})
+	return nil
+}
+
+// Received returns the messages received by this processor during the
+// current step (after the port discipline has been applied).
+func (p *Proc) Received() []Message { return p.inboxThisStep }
+
+func (p *Proc) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// Handler is the per-step program of one processor. It is called once per
+// virtual time step, on its own goroutine, after that step's receptions have
+// been delivered.
+type Handler func(p *Proc, now logp.Time)
+
+// Runtime executes P handlers in barrier-synchronized virtual time.
+type Runtime struct {
+	m        logp.Machine
+	mode     Mode
+	procs    []*Proc
+	handlers []Handler
+	now      logp.Time
+	inflight []Message
+	trace    *schedule.Schedule
+}
+
+// Mode mirrors sim: Strict receives arrivals immediately (recording a
+// violation if the port is busy); Buffered queues them.
+type Mode int
+
+// Reception disciplines.
+const (
+	Strict Mode = iota
+	Buffered
+)
+
+// New creates a runtime for machine m. handlers must have length m.P (nil
+// entries mean "idle processor").
+func New(m logp.Machine, mode Mode, handlers []Handler) (*Runtime, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(handlers) != m.P {
+		return nil, fmt.Errorf("runtime: %d handlers for P=%d", len(handlers), m.P)
+	}
+	rt := &Runtime{m: m, mode: mode, handlers: handlers, trace: &schedule.Schedule{M: m}}
+	rt.procs = make([]*Proc, m.P)
+	for i := range rt.procs {
+		rt.procs[i] = &Proc{ID: i, rt: rt, lastSendStart: minusInf, lastRecvStart: minusInf, busyUntil: minusInf}
+	}
+	return rt, nil
+}
+
+// Proc returns the handle for processor id (for pre-run state injection).
+func (rt *Runtime) Proc(id int) *Proc { return rt.procs[id] }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() logp.Time { return rt.now }
+
+// Step advances one virtual time step: delivers arrivals, runs all handlers
+// concurrently, then collects outboxes. It returns the first handler error.
+func (rt *Runtime) Step() error {
+	now := rt.now
+	// Deliver arrivals due now.
+	rest := rt.inflight[:0]
+	for _, msg := range rt.inflight {
+		if msg.Arrive <= now {
+			p := rt.procs[msg.To]
+			p.queue = append(p.queue, msg)
+			if len(p.queue) > p.maxQueue {
+				p.maxQueue = len(p.queue)
+			}
+		} else {
+			rest = append(rest, msg)
+		}
+	}
+	rt.inflight = rest
+	// Apply the reception discipline.
+	for _, p := range rt.procs {
+		p.inboxThisStep = p.inboxThisStep[:0]
+		p.sentThisStep = false
+		if len(p.queue) == 0 {
+			continue
+		}
+		sort.Slice(p.queue, func(i, j int) bool {
+			a, b := p.queue[i], p.queue[j]
+			if a.Arrive != b.Arrive {
+				return a.Arrive < b.Arrive
+			}
+			if a.Item != b.Item {
+				return a.Item < b.Item
+			}
+			return a.From < b.From
+		})
+		switch rt.mode {
+		case Strict:
+			// Everything that has arrived must be received now; the port
+			// admits one per gap.
+			for len(p.queue) > 0 {
+				msg := p.queue[0]
+				if now < p.lastRecvStart+rt.m.G || now < p.busyUntil {
+					p.fail(fmt.Errorf("runtime: proc %d: receive port busy for item %d at %d",
+						p.ID, msg.Item, now))
+				}
+				p.queue = p.queue[1:]
+				rt.deliver(p, msg, now)
+			}
+		case Buffered:
+			if now >= p.lastRecvStart+rt.m.G && now >= p.busyUntil {
+				msg := p.queue[0]
+				p.queue = p.queue[1:]
+				rt.deliver(p, msg, now)
+			}
+		}
+	}
+	// Run handlers concurrently.
+	var wg sync.WaitGroup
+	for i, h := range rt.handlers {
+		if h == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(p *Proc, h Handler) {
+			defer wg.Done()
+			h(p, now)
+		}(rt.procs[i], h)
+	}
+	wg.Wait()
+	// Collect outboxes in processor order (determinism).
+	for _, p := range rt.procs {
+		for _, msg := range p.outbox {
+			rt.inflight = append(rt.inflight, msg)
+			rt.trace.Send(msg.From, msg.SentAt, msg.Item, msg.To)
+		}
+		p.outbox = p.outbox[:0]
+		if p.err != nil {
+			return p.err
+		}
+	}
+	rt.now++
+	return nil
+}
+
+func (rt *Runtime) deliver(p *Proc, msg Message, now logp.Time) {
+	msg.RecvdAt = now
+	p.lastRecvStart = now
+	if end := now + rt.m.O; end > p.busyUntil {
+		p.busyUntil = end
+	}
+	p.inboxThisStep = append(p.inboxThisStep, msg)
+	rt.trace.Recv(p.ID, now, msg.Item, msg.From)
+}
+
+// Run executes steps until the virtual clock reaches until (exclusive) or a
+// handler fails.
+func (rt *Runtime) Run(until logp.Time) error {
+	for rt.now < until {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quiesce runs until communication has started (at least one message sent)
+// and then fully drained (nothing in flight or queued, and a step passes
+// without new sends), up to horizon. If the handlers never communicate,
+// Quiesce runs to the horizon.
+func (rt *Runtime) Quiesce(horizon logp.Time) error {
+	started := false
+	for rt.now < horizon {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		if len(rt.inflight) > 0 {
+			started = true
+		}
+		if started && len(rt.inflight) == 0 && !rt.anyQueued() {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) anyQueued() bool {
+	for _, p := range rt.procs {
+		if len(p.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace returns the executed communication schedule.
+func (rt *Runtime) Trace() *schedule.Schedule {
+	s := &schedule.Schedule{M: rt.m, Events: append([]schedule.Event(nil), rt.trace.Events...)}
+	s.Sort()
+	return s
+}
+
+// MaxQueue returns the largest receive-queue occupancy seen at any processor.
+func (rt *Runtime) MaxQueue() int {
+	mx := 0
+	for _, p := range rt.procs {
+		if p.maxQueue > mx {
+			mx = p.maxQueue
+		}
+	}
+	return mx
+}

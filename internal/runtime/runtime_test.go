@@ -1,0 +1,297 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+	"logpopt/internal/sim"
+)
+
+func TestReplayOptimalBroadcast(t *testing.T) {
+	machines := []logp.Machine{
+		logp.MustNew(8, 6, 2, 4),
+		logp.Postal(9, 3),
+		logp.Postal(20, 2),
+	}
+	for _, m := range machines {
+		s := core.BroadcastSchedule(m, 0)
+		rt, err := New(m, Strict, ScheduleHandlers(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(Horizon(s)); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		tr := rt.Trace()
+		if vs := schedule.ValidateBroadcast(tr, core.Origins(0)); len(vs) != 0 {
+			t.Fatalf("%v: trace violations: %v", m, vs)
+		}
+		if got, want := tr.LastRecv(), core.B(m, m.P); got != want {
+			t.Fatalf("%v: completes at %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestRuntimeAgreesWithSim(t *testing.T) {
+	// The goroutine runtime and the discrete-event simulator are
+	// independent implementations of the same machine; their executed
+	// schedules for the same input must be identical.
+	m := logp.MustNew(12, 7, 1, 3)
+	s := core.BroadcastSchedule(m, 0)
+
+	e, rep := sim.Run(s, sim.Strict, core.Origins(0))
+	if len(rep.Violations) != 0 {
+		t.Fatalf("sim violations: %v", rep.Violations)
+	}
+	simTrace := e.Executed()
+
+	rt, err := New(m, Strict, ScheduleHandlers(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(Horizon(s)); err != nil {
+		t.Fatal(err)
+	}
+	rtTrace := rt.Trace()
+
+	if !reflect.DeepEqual(simTrace.Events, rtTrace.Events) {
+		t.Fatalf("sim and runtime traces differ:\nsim: %v\nrt:  %v", simTrace.Events, rtTrace.Events)
+	}
+}
+
+func TestPayloadsFlow(t *testing.T) {
+	// Two processors: 0 sends the answer to 1; 1 stores it in State.
+	m := logp.Postal(2, 3)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 1, 0, 42)
+			}
+		},
+		func(p *Proc, now logp.Time) {
+			for _, msg := range p.Received() {
+				p.State = msg.Payload
+			}
+		},
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Proc(1).State; got != 42 {
+		t.Fatalf("payload = %v, want 42", got)
+	}
+}
+
+func TestStrictPortContentionFails(t *testing.T) {
+	m := logp.Postal(3, 4)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 2, 0, nil)
+			}
+		},
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 2, 1, nil)
+			}
+		},
+		nil,
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(10); err == nil {
+		t.Fatal("simultaneous arrivals did not fail in strict mode")
+	}
+}
+
+func TestBufferedQueues(t *testing.T) {
+	m := logp.Postal(3, 4)
+	var got []logp.Time
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 2, 0, nil)
+			}
+		},
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 2, 1, nil)
+			}
+		},
+		func(p *Proc, now logp.Time) {
+			for _, msg := range p.Received() {
+				got = append(got, msg.RecvdAt)
+			}
+		},
+	}
+	rt, err := New(m, Buffered, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	want := []logp.Time{4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reception times %v, want %v", got, want)
+	}
+	if rt.MaxQueue() != 2 {
+		t.Fatalf("max queue %d, want 2", rt.MaxQueue())
+	}
+}
+
+func TestDoubleSendSameStepFails(t *testing.T) {
+	m := logp.Postal(3, 2)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 1, 0, nil)
+				_ = p.Send(now, 2, 1, nil) // second send in same step: illegal
+			}
+		},
+		nil, nil,
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(5); err == nil {
+		t.Fatal("two sends in one step did not fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(logp.Machine{P: 0, L: 1, G: 1}, Strict, nil); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+	if _, err := New(logp.Postal(3, 2), Strict, make([]Handler, 2)); err == nil {
+		t.Fatal("wrong handler count accepted")
+	}
+}
+
+func TestQuiesce(t *testing.T) {
+	m := logp.Postal(2, 5)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 3 {
+				_ = p.Send(now, 1, 0, nil)
+			}
+		},
+		nil,
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Quiesce(100); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now() > 20 {
+		t.Fatalf("quiesce overran: now=%d", rt.Now())
+	}
+	tr := rt.Trace()
+	if len(tr.Events) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(tr.Events))
+	}
+}
+
+func TestSendToSelfFails(t *testing.T) {
+	m := logp.Postal(3, 2)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 0, 0, nil) // self-send
+			}
+		},
+		nil, nil,
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(3); err == nil {
+		t.Fatal("self-send did not fail the run")
+	}
+}
+
+func TestSendOutOfRangeFails(t *testing.T) {
+	m := logp.Postal(2, 2)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 7, 0, nil)
+			}
+		},
+		nil,
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(3); err == nil {
+		t.Fatal("out-of-range send did not fail the run")
+	}
+}
+
+func TestOverheadBlocksSend(t *testing.T) {
+	// With o=2, a processor that received at step t is busy through t+2 and
+	// must not be able to send at t+1.
+	m := logp.MustNew(2, 4, 2, 4)
+	gotErr := false
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 1, 0, nil) // arrives at 6
+			}
+		},
+		func(p *Proc, now logp.Time) {
+			if now == 7 { // inside the receive overhead [6, 8)
+				if !p.CanSend(now) {
+					gotErr = true
+					return
+				}
+				_ = p.Send(now, 0, 1, nil)
+			}
+		},
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !gotErr {
+		t.Fatal("send during receive overhead was allowed")
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	// Two runs of the same concurrent program must produce identical traces
+	// (the runtime's determinism guarantee).
+	m := logp.MustNew(16, 5, 1, 2)
+	s := core.BroadcastSchedule(m, 0)
+	run := func() []schedule.Event {
+		rt, err := New(m, Strict, ScheduleHandlers(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(Horizon(s)); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Trace().Events
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("concurrent runs produced different traces")
+	}
+}

@@ -1,0 +1,87 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"logpopt/internal/logp"
+)
+
+// JSON interchange format, so schedules can be exported to (or imported
+// from) external tooling — visualizers, other simulators, trace stores.
+// The format is stable and versioned.
+
+// jsonSchedule is the on-wire shape.
+type jsonSchedule struct {
+	Version int         `json:"version"`
+	Machine jsonMachine `json:"machine"`
+	Events  []jsonEvent `json:"events"`
+}
+
+type jsonMachine struct {
+	P int       `json:"p"`
+	L logp.Time `json:"l"`
+	O logp.Time `json:"o"`
+	G logp.Time `json:"g"`
+}
+
+type jsonEvent struct {
+	Proc int       `json:"proc"`
+	Time logp.Time `json:"time"`
+	Op   string    `json:"op"` // "send" | "recv" | "comp"
+	Item int       `json:"item"`
+	Peer int       `json:"peer,omitempty"`
+	Dur  logp.Time `json:"dur,omitempty"`
+}
+
+// WriteJSON serializes the schedule.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	js := jsonSchedule{
+		Version: 1,
+		Machine: jsonMachine{P: s.M.P, L: s.M.L, O: s.M.O, G: s.M.G},
+		Events:  make([]jsonEvent, 0, len(s.Events)),
+	}
+	for _, e := range s.Events {
+		js.Events = append(js.Events, jsonEvent{
+			Proc: e.Proc, Time: e.Time, Op: e.Op.String(), Item: e.Item, Peer: e.Peer, Dur: e.Dur,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(js)
+}
+
+// ReadJSON deserializes a schedule written by WriteJSON.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var js jsonSchedule
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("schedule: decoding JSON: %w", err)
+	}
+	if js.Version != 1 {
+		return nil, fmt.Errorf("schedule: unsupported version %d", js.Version)
+	}
+	m := logp.Machine{P: js.Machine.P, L: js.Machine.L, O: js.Machine.O, G: js.Machine.G}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{M: m, Events: make([]Event, 0, len(js.Events))}
+	for i, e := range js.Events {
+		var op Op
+		switch e.Op {
+		case "send":
+			op = OpSend
+		case "recv":
+			op = OpRecv
+		case "comp":
+			op = OpCompute
+		default:
+			return nil, fmt.Errorf("schedule: event %d has unknown op %q", i, e.Op)
+		}
+		s.Events = append(s.Events, Event{
+			Proc: e.Proc, Time: e.Time, Op: op, Item: e.Item, Peer: e.Peer, Dur: e.Dur,
+		})
+	}
+	return s, nil
+}

@@ -1,0 +1,423 @@
+// Package sim provides a deterministic discrete-event simulator of a LogP
+// machine. It executes communication schedules (or is driven step-by-step by
+// an online scheduler), routing every message with latency L, charging the
+// overhead o at both ports, enforcing the gap g between consecutive port
+// operations, and enforcing the network capacity bound.
+//
+// The simulator supports two reception disciplines:
+//
+//   - Strict: a message must be received the instant it arrives; an arrival
+//     at a busy port is a violation. This is the plain LogP/postal model in
+//     which the paper's optimal schedules are stated.
+//   - Buffered: arrivals enter a bounded input buffer and the processor
+//     receives at most one buffered item per free receive slot. This is the
+//     modified model of Section 3.5 (Theorem 3.8), under which the
+//     single-sending lower bound for k-item broadcast becomes achievable.
+//     The paper notes a buffer of size 2 suffices; the simulator reports the
+//     high-water mark so that claim can be checked.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// Mode selects the reception discipline.
+type Mode int
+
+// Reception disciplines.
+const (
+	Strict Mode = iota
+	Buffered
+)
+
+// Msg is a message in flight or in a buffer.
+type Msg struct {
+	From, To, Item int
+	SendAt         logp.Time // time the send began
+	Arrive         logp.Time // SendAt + o + L
+}
+
+// procState tracks one processor's ports and holdings.
+type procState struct {
+	lastSendStart logp.Time // start of most recent send; -inf if none
+	lastRecvStart logp.Time
+	busyUntil     logp.Time // end of current overhead/compute interval
+	avail         map[int]logp.Time
+	buffer        []Msg // arrived, not yet received (Buffered mode)
+	maxBuffer     int
+}
+
+// flightHeap orders in-flight messages by arrival time, then deterministic
+// tie-break.
+type flightHeap []Msg
+
+func (h flightHeap) Len() int { return len(h) }
+func (h flightHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Arrive != b.Arrive {
+		return a.Arrive < b.Arrive
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	if a.Item != b.Item {
+		return a.Item < b.Item
+	}
+	return a.From < b.From
+}
+func (h flightHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *flightHeap) Push(x any)   { *h = append(*h, x.(Msg)) }
+func (h *flightHeap) Pop() any     { o := *h; n := len(o); x := o[n-1]; *h = o[:n-1]; return x }
+
+// Engine is a running LogP machine. Create one with New, inject origin items,
+// then either replay a schedule with Run or drive it interactively:
+// repeatedly TickTo / Send.
+type Engine struct {
+	M         logp.Machine
+	Mode      Mode
+	BufferCap int // max buffered arrivals per proc in Buffered mode; 0 = unlimited
+
+	now        logp.Time
+	procs      []procState
+	inflight   flightHeap
+	executed   schedule.Schedule
+	violations []schedule.Violation
+}
+
+const minusInf = logp.Time(-1) << 40
+
+// New returns an engine at time 0 with no items anywhere.
+func New(m logp.Machine, mode Mode) *Engine {
+	e := &Engine{M: m, Mode: mode, executed: schedule.Schedule{M: m}}
+	e.procs = make([]procState, m.P)
+	for i := range e.procs {
+		e.procs[i] = procState{
+			lastSendStart: minusInf,
+			lastRecvStart: minusInf,
+			busyUntil:     minusInf,
+			avail:         make(map[int]logp.Time),
+		}
+	}
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() logp.Time { return e.now }
+
+// Inject makes item available at processor p at time at (an origin, e.g. the
+// broadcast source's datum, or a continuously generated stream item).
+func (e *Engine) Inject(p, item int, at logp.Time) {
+	if cur, ok := e.procs[p].avail[item]; !ok || at < cur {
+		e.procs[p].avail[item] = at
+	}
+}
+
+// Has reports whether item is available at p at the current time.
+func (e *Engine) Has(p, item int) bool {
+	t, ok := e.procs[p].avail[item]
+	return ok && t <= e.now
+}
+
+// AvailableAt returns the time item became (or becomes) available at p, and
+// whether it is known at all.
+func (e *Engine) AvailableAt(p, item int) (logp.Time, bool) {
+	t, ok := e.procs[p].avail[item]
+	return t, ok
+}
+
+// CanSend reports whether p's send port is free at the current time: the gap
+// since the previous send has elapsed and the processor is not inside an
+// overhead interval.
+func (e *Engine) CanSend(p int) bool {
+	ps := &e.procs[p]
+	return e.now >= ps.lastSendStart+e.M.G && e.now >= ps.busyUntil
+}
+
+// canRecvAt reports whether p can begin a reception at time t.
+func (e *Engine) canRecvAt(p int, t logp.Time) bool {
+	ps := &e.procs[p]
+	return t >= ps.lastRecvStart+e.M.G && t >= ps.busyUntil
+}
+
+// Send transmits item from -> to starting at the current time. It returns an
+// error (and does nothing) if the sender does not hold the item, the port is
+// not free, or the destination is out of range.
+func (e *Engine) Send(from, item, to int) error {
+	if to < 0 || to >= e.M.P || from < 0 || from >= e.M.P {
+		return fmt.Errorf("sim: send %d->%d out of range (P=%d)", from, to, e.M.P)
+	}
+	if from == to {
+		return fmt.Errorf("sim: proc %d sending item %d to itself", from, item)
+	}
+	if !e.Has(from, item) {
+		return fmt.Errorf("sim: proc %d does not hold item %d at time %d", from, item, e.now)
+	}
+	if !e.CanSend(from) {
+		return fmt.Errorf("sim: proc %d send port busy at time %d", from, e.now)
+	}
+	ps := &e.procs[from]
+	ps.lastSendStart = e.now
+	if end := e.now + e.M.O; end > ps.busyUntil {
+		ps.busyUntil = end
+	}
+	msg := Msg{From: from, To: to, Item: item, SendAt: e.now, Arrive: e.now + e.M.O + e.M.L}
+	heap.Push(&e.inflight, msg)
+	e.executed.Send(from, e.now, item, to)
+	return nil
+}
+
+// TickTo advances simulation time to t, processing all arrivals and (in
+// Buffered mode) buffer drains with arrival/availability bookkeeping.
+func (e *Engine) TickTo(t logp.Time) {
+	for e.now < t {
+		e.now++
+		e.processArrivals()
+	}
+}
+
+// Tick advances one time step.
+func (e *Engine) Tick() { e.TickTo(e.now + 1) }
+
+// processArrivals handles every message arriving at the current instant and,
+// in Buffered mode, lets each processor receive one buffered message if its
+// receive port is free.
+func (e *Engine) processArrivals() {
+	for len(e.inflight) > 0 && e.inflight[0].Arrive <= e.now {
+		msg := heap.Pop(&e.inflight).(Msg)
+		ps := &e.procs[msg.To]
+		switch e.Mode {
+		case Strict:
+			if !e.canRecvAt(msg.To, msg.Arrive) {
+				e.violations = append(e.violations, schedule.Violation{
+					Kind: schedule.VGap,
+					Msg: fmt.Sprintf("sim: proc %d receive port busy for item %d arriving at %d",
+						msg.To, msg.Item, msg.Arrive),
+				})
+				// Receive anyway so the run can continue and report more.
+			}
+			e.receive(msg, msg.Arrive)
+		case Buffered:
+			ps.buffer = append(ps.buffer, msg)
+			if len(ps.buffer) > ps.maxBuffer {
+				ps.maxBuffer = len(ps.buffer)
+			}
+			if e.BufferCap > 0 && len(ps.buffer) > e.BufferCap {
+				e.violations = append(e.violations, schedule.Violation{
+					Kind: schedule.VCapacity,
+					Msg: fmt.Sprintf("sim: proc %d buffer exceeds cap %d at time %d",
+						msg.To, e.BufferCap, e.now),
+				})
+			}
+		}
+	}
+	if e.Mode == Buffered {
+		for p := range e.procs {
+			ps := &e.procs[p]
+			if len(ps.buffer) == 0 || !e.canRecvAt(p, e.now) {
+				continue
+			}
+			// Receive the earliest-arrived message not yet held; duplicates
+			// (already-held items) are received too — schedules decide what
+			// they send; the engine just models the machine.
+			best := 0
+			for i := 1; i < len(ps.buffer); i++ {
+				if flightLess(ps.buffer[i], ps.buffer[best]) {
+					best = i
+				}
+			}
+			msg := ps.buffer[best]
+			ps.buffer = append(ps.buffer[:best], ps.buffer[best+1:]...)
+			e.receive(msg, e.now)
+		}
+	}
+}
+
+func flightLess(a, b Msg) bool {
+	if a.Arrive != b.Arrive {
+		return a.Arrive < b.Arrive
+	}
+	return a.Item < b.Item
+}
+
+// receive performs the reception of msg beginning at time t.
+func (e *Engine) receive(msg Msg, t logp.Time) {
+	ps := &e.procs[msg.To]
+	ps.lastRecvStart = t
+	if end := t + e.M.O; end > ps.busyUntil {
+		ps.busyUntil = end
+	}
+	availAt := t + e.M.O
+	if cur, ok := ps.avail[msg.Item]; !ok || availAt < cur {
+		ps.avail[msg.Item] = availAt
+	}
+	e.executed.Recv(msg.To, t, msg.Item, msg.From)
+}
+
+// Drain advances time until no messages are in flight or buffered, up to the
+// given horizon; it returns the time of quiescence (or the horizon).
+func (e *Engine) Drain(horizon logp.Time) logp.Time {
+	for e.now < horizon {
+		if len(e.inflight) == 0 && !e.anyBuffered() {
+			return e.now
+		}
+		e.Tick()
+	}
+	return e.now
+}
+
+func (e *Engine) anyBuffered() bool {
+	for i := range e.procs {
+		if len(e.procs[i].buffer) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Violations returns the violations recorded so far.
+func (e *Engine) Violations() []schedule.Violation { return e.violations }
+
+// Executed returns a copy of the executed schedule (all sends and the recvs
+// as they actually happened).
+func (e *Engine) Executed() *schedule.Schedule {
+	s := &schedule.Schedule{M: e.M, Events: append([]schedule.Event(nil), e.executed.Events...)}
+	s.Sort()
+	return s
+}
+
+// MaxBuffer returns the largest input-buffer occupancy observed at any
+// processor (0 in Strict mode).
+func (e *Engine) MaxBuffer() int {
+	mx := 0
+	for i := range e.procs {
+		if e.procs[i].maxBuffer > mx {
+			mx = e.procs[i].maxBuffer
+		}
+	}
+	return mx
+}
+
+// ItemCompletion returns, for the given item, the latest availability time
+// across all processors in procs (or all processors if procs is nil), and
+// whether every one of them has the item.
+func (e *Engine) ItemCompletion(item int, procs []int) (logp.Time, bool) {
+	if procs == nil {
+		procs = make([]int, e.M.P)
+		for i := range procs {
+			procs[i] = i
+		}
+	}
+	var mx logp.Time
+	for _, p := range procs {
+		t, ok := e.procs[p].avail[item]
+		if !ok {
+			return 0, false
+		}
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx, true
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Finish     logp.Time // time the last reception's availability lands
+	MaxBuffer  int
+	Violations []schedule.Violation
+}
+
+// Run replays the send events of a schedule on a fresh engine in the given
+// mode. Origin items must be supplied (item -> origin). The recv events of
+// the input schedule are ignored — the engine derives receptions from the
+// machine's rules — so comparing the executed schedule against the input's
+// recv events is a way to check a scheduler's own arrival bookkeeping.
+func Run(s *schedule.Schedule, mode Mode, origins map[int]schedule.Origin) (*Engine, Report) {
+	e := New(s.M, mode)
+	for item, og := range origins {
+		e.Inject(og.Proc, item, og.Time)
+	}
+	sends := make([]schedule.Event, 0, len(s.Events))
+	var horizon logp.Time
+	for _, ev := range s.Events {
+		if ev.Op == schedule.OpSend {
+			sends = append(sends, ev)
+			if ev.Time > horizon {
+				horizon = ev.Time
+			}
+		}
+	}
+	sort.SliceStable(sends, func(i, j int) bool { return sends[i].Time < sends[j].Time })
+	horizon += s.M.O + s.M.L + 1
+	i := 0
+	for {
+		for i < len(sends) && sends[i].Time == e.Now() {
+			ev := sends[i]
+			if err := e.Send(ev.Proc, ev.Item, ev.Peer); err != nil {
+				e.violations = append(e.violations, schedule.Violation{
+					Kind: "replay", Msg: err.Error(),
+				})
+			}
+			i++
+		}
+		if i >= len(sends) && len(e.inflight) == 0 && !e.anyBuffered() {
+			break
+		}
+		if e.Now() > horizon+logp.Time(s.M.P)*s.M.G*4 {
+			break // safety net against livelock in buffered mode
+		}
+		e.Tick()
+	}
+	rep := Report{Finish: e.finishTime(), MaxBuffer: e.MaxBuffer(), Violations: e.violations}
+	return e, rep
+}
+
+func (e *Engine) finishTime() logp.Time {
+	var mx logp.Time
+	for i := range e.procs {
+		for _, t := range e.procs[i].avail {
+			if t > mx {
+				mx = t
+			}
+		}
+	}
+	return mx
+}
+
+// Stats summarizes port activity for one run.
+type Stats struct {
+	Sends, Recvs   int       // total message events
+	BusyCycles     int64     // sum over processors of overhead cycles spent
+	Span           logp.Time // finish time (same as Report.Finish)
+	PortUtilFinish float64   // BusyCycles / (P * Span); 0 when Span == 0
+}
+
+// Stats computes port-activity statistics from the executed schedule.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, ev := range e.executed.Events {
+		switch ev.Op {
+		case schedule.OpSend:
+			st.Sends++
+			st.BusyCycles += int64(e.M.O)
+		case schedule.OpRecv:
+			st.Recvs++
+			st.BusyCycles += int64(e.M.O)
+		}
+	}
+	if e.M.O == 0 {
+		// In the postal model count each port event as one busy cycle so
+		// utilization remains meaningful.
+		st.BusyCycles = int64(st.Sends + st.Recvs)
+	}
+	st.Span = e.finishTime()
+	if st.Span > 0 && e.M.P > 0 {
+		st.PortUtilFinish = float64(st.BusyCycles) / (float64(e.M.P) * float64(st.Span))
+	}
+	return st
+}

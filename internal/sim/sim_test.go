@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+func TestRunOptimalBroadcastStrict(t *testing.T) {
+	machines := []logp.Machine{
+		logp.MustNew(8, 6, 2, 4),
+		logp.Postal(9, 3),
+		logp.Postal(41, 3),
+		logp.MustNew(16, 5, 1, 2),
+	}
+	for _, m := range machines {
+		s := core.BroadcastSchedule(m, 0)
+		_, rep := Run(s, Strict, core.Origins(0))
+		if len(rep.Violations) != 0 {
+			t.Fatalf("%v: violations %v", m, rep.Violations)
+		}
+		if want := core.B(m, m.P); rep.Finish != want {
+			t.Fatalf("%v: finish %d, want B=%d", m, rep.Finish, want)
+		}
+	}
+}
+
+func TestRunProperty(t *testing.T) {
+	f := func(l, o, g, p uint8) bool {
+		m := logp.Machine{
+			P: int(p%25) + 2,
+			L: logp.Time(l%8) + 1,
+			O: logp.Time(o % 4),
+			G: logp.Time(g%4) + 1,
+		}
+		s := core.BroadcastSchedule(m, 0)
+		_, rep := Run(s, Strict, core.Origins(0))
+		return len(rep.Violations) == 0 && rep.Finish == core.B(m, m.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutedMatchesValidator(t *testing.T) {
+	// The engine's executed schedule (sends + derived recvs) must pass the
+	// independent validator exactly.
+	m := logp.MustNew(8, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	e, _ := Run(s, Strict, core.Origins(0))
+	ex := e.Executed()
+	if vs := schedule.ValidateBroadcast(ex, core.Origins(0)); len(vs) != 0 {
+		t.Fatalf("executed schedule violations: %v", vs)
+	}
+}
+
+func TestStrictContentionFlagged(t *testing.T) {
+	// Two messages arriving at the same proc at the same step.
+	m := logp.Postal(3, 4)
+	s := &schedule.Schedule{M: m}
+	s.Send(0, 0, 0, 2)
+	s.Send(1, 0, 1, 2)
+	origins := map[int]schedule.Origin{0: {Proc: 0}, 1: {Proc: 1}}
+	_, rep := Run(s, Strict, origins)
+	if len(rep.Violations) == 0 {
+		t.Fatal("simultaneous arrivals not flagged in strict mode")
+	}
+}
+
+func TestBufferedModeDefers(t *testing.T) {
+	// Same contention in buffered mode: second message is received one
+	// step later, no violation, max buffer 2.
+	m := logp.Postal(3, 4)
+	s := &schedule.Schedule{M: m}
+	s.Send(0, 0, 0, 2)
+	s.Send(1, 0, 1, 2)
+	origins := map[int]schedule.Origin{0: {Proc: 0}, 1: {Proc: 1}}
+	e, rep := Run(s, Buffered, origins)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("buffered run violations: %v", rep.Violations)
+	}
+	if rep.MaxBuffer != 2 {
+		t.Fatalf("max buffer = %d, want 2", rep.MaxBuffer)
+	}
+	t0, ok0 := e.AvailableAt(2, 0)
+	t1, ok1 := e.AvailableAt(2, 1)
+	if !ok0 || !ok1 {
+		t.Fatal("items not delivered")
+	}
+	got := []logp.Time{t0, t1}
+	if !(got[0] == 4 && got[1] == 5 || got[0] == 5 && got[1] == 4) {
+		t.Fatalf("availabilities %v, want {4,5}", got)
+	}
+}
+
+func TestBufferCapViolation(t *testing.T) {
+	m := logp.Postal(5, 4)
+	s := &schedule.Schedule{M: m}
+	for i := 0; i < 3; i++ {
+		s.Send(i, 0, i, 4)
+	}
+	origins := map[int]schedule.Origin{0: {Proc: 0}, 1: {Proc: 1}, 2: {Proc: 2}}
+	e := New(m, Buffered)
+	e.BufferCap = 2
+	for item, og := range origins {
+		e.Inject(og.Proc, item, og.Time)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.Send(i, i, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain(100)
+	found := false
+	for _, v := range e.Violations() {
+		if v.Kind == schedule.VCapacity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("buffer cap 2 with 3 simultaneous arrivals not flagged: %v", e.Violations())
+	}
+}
+
+func TestSendChecks(t *testing.T) {
+	m := logp.Postal(3, 2)
+	e := New(m, Strict)
+	if err := e.Send(0, 7, 1); err == nil {
+		t.Fatal("send of unheld item succeeded")
+	}
+	e.Inject(0, 7, 0)
+	if err := e.Send(0, 7, 0); err == nil {
+		t.Fatal("self-send succeeded")
+	}
+	if err := e.Send(0, 7, 5); err == nil {
+		t.Fatal("out-of-range send succeeded")
+	}
+	if err := e.Send(0, 7, 1); err != nil {
+		t.Fatalf("legal send failed: %v", err)
+	}
+	// Gap: immediate second send must fail (g=1, same step).
+	if err := e.Send(0, 7, 2); err == nil {
+		t.Fatal("second send in same step succeeded")
+	}
+	e.Tick()
+	if err := e.Send(0, 7, 2); err != nil {
+		t.Fatalf("send after gap failed: %v", err)
+	}
+}
+
+func TestInjectFutureAvailability(t *testing.T) {
+	m := logp.Postal(2, 2)
+	e := New(m, Strict)
+	e.Inject(0, 3, 5) // item generated at time 5
+	if e.Has(0, 3) {
+		t.Fatal("item available before its generation time")
+	}
+	if err := e.Send(0, 3, 1); err == nil {
+		t.Fatal("sent an item before it was generated")
+	}
+	e.TickTo(5)
+	if !e.Has(0, 3) {
+		t.Fatal("item not available at its generation time")
+	}
+	if err := e.Send(0, 3, 1); err != nil {
+		t.Fatalf("send at generation time failed: %v", err)
+	}
+}
+
+func TestItemCompletion(t *testing.T) {
+	m := logp.Postal(3, 2)
+	s := core.BroadcastSchedule(m, 0)
+	e, _ := Run(s, Strict, core.Origins(0))
+	ct, ok := e.ItemCompletion(0, []int{1, 2})
+	if !ok {
+		t.Fatal("item 0 incomplete")
+	}
+	if want := core.B(m, 3); ct != want {
+		t.Fatalf("completion %d, want %d", ct, want)
+	}
+	if _, ok := e.ItemCompletion(9, nil); ok {
+		t.Fatal("unknown item reported complete")
+	}
+}
+
+func TestGeneralMachineOverheadBusy(t *testing.T) {
+	// o=2: after receiving (busy 2 cycles), a send in the overhead window
+	// must fail.
+	m := logp.MustNew(3, 6, 2, 4)
+	e := New(m, Strict)
+	e.Inject(0, 1, 0)
+	if err := e.Send(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Arrival at 0+2+6 = 8; availability at 10.
+	e.TickTo(8)
+	if e.Has(1, 1) {
+		t.Fatal("item available during receive overhead")
+	}
+	e.TickTo(9)
+	if err := e.Send(1, 1, 2); err == nil {
+		t.Fatal("send during receive overhead succeeded")
+	}
+	e.TickTo(10)
+	if !e.Has(1, 1) {
+		t.Fatal("item not available after receive overhead")
+	}
+	if err := e.Send(1, 1, 2); err != nil {
+		t.Fatalf("send after overhead failed: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := logp.MustNew(8, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	e, rep := Run(s, Strict, core.Origins(0))
+	st := e.Stats()
+	if st.Sends != 7 || st.Recvs != 7 {
+		t.Fatalf("stats %+v, want 7 sends and recvs", st)
+	}
+	if st.BusyCycles != 14*2 {
+		t.Fatalf("busy cycles %d, want 28", st.BusyCycles)
+	}
+	if st.Span != rep.Finish {
+		t.Fatalf("span %d != finish %d", st.Span, rep.Finish)
+	}
+	if st.PortUtilFinish <= 0 || st.PortUtilFinish > 1 {
+		t.Fatalf("utilization %v out of range", st.PortUtilFinish)
+	}
+	// Postal: busy cycles = event count.
+	pm := logp.Postal(9, 3)
+	ps := core.BroadcastSchedule(pm, 0)
+	pe, _ := Run(ps, Strict, core.Origins(0))
+	if got := pe.Stats().BusyCycles; got != 16 {
+		t.Fatalf("postal busy cycles %d, want 16", got)
+	}
+}

@@ -1,0 +1,356 @@
+package summation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+func TestFigure6Capacity(t *testing.T) {
+	// Figure 6's machine: t=28, P=8, L=5, g=4, o=2. The lazy machine is
+	// (L+1)=6, o=2, g=4, whose 8 smallest universal labels are
+	// 0,10,14,18,20,22,24,24; n(28) = 3 + sum(26 - d) = 79.
+	m := logp.MustNew(8, 5, 2, 4)
+	n, tr := Capacity(m, 28)
+	if n != 79 {
+		t.Fatalf("n(28) = %d, want 79", n)
+	}
+	if tr.P() != 8 {
+		t.Fatalf("summation tree uses %d processors, want 8", tr.P())
+	}
+	if got := tr.MaxLabel(); got != 24 {
+		t.Fatalf("deepest node at %d, want 24", got)
+	}
+}
+
+func TestFigure6PlanAndSchedule(t *testing.T) {
+	m := logp.MustNew(8, 5, 2, 4)
+	pl, err := Build(m, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.N != 79 {
+		t.Fatalf("plan capacity %d, want 79", pl.N)
+	}
+	s := pl.Schedule()
+	if vs := schedule.Validate(s); len(vs) != 0 {
+		t.Fatalf("schedule violations: %v", vs[0])
+	}
+	// The root's last fold completes exactly at T.
+	rootOps := pl.Ops[0]
+	last := rootOps[len(rootOps)-1]
+	var end logp.Time
+	if last.Kind == OpRecvFold {
+		end = last.At + m.O + 1
+	} else {
+		end = last.At + 1
+	}
+	if end != 28 {
+		t.Fatalf("root finishes at %d, want 28", end)
+	}
+}
+
+func TestExecuteIntSum(t *testing.T) {
+	machines := []logp.Machine{
+		logp.MustNew(8, 5, 2, 4),
+		logp.Postal(16, 3),
+		logp.MustNew(4, 2, 0, 1),
+		logp.MustNew(32, 10, 1, 3),
+	}
+	for _, m := range machines {
+		for _, tt := range []logp.Time{0, 1, 5, 13, 28, 40} {
+			pl, err := Build(m, tt)
+			if err != nil {
+				t.Fatalf("%v t=%d: %v", m, tt, err)
+			}
+			ops := make([]int, pl.N)
+			want := 0
+			for i := range ops {
+				ops[i] = 7*i + 3
+				want += ops[i]
+			}
+			got, err := Execute(pl, ops, func(a, b int) int { return a + b })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%v t=%d: sum = %d, want %d", m, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestExecuteNonCommutative(t *testing.T) {
+	// With string concatenation and the in-order operand numbering, the
+	// result must be exactly operands[0] + operands[1] + ... — this pins
+	// down the renumbering argument of the paper's footnote 2.
+	m := logp.MustNew(8, 5, 2, 4)
+	pl, err := Build(m, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]string, pl.N)
+	var want strings.Builder
+	for i := range ops {
+		ops[i] = fmt.Sprintf("<%d>", i)
+		want.WriteString(ops[i])
+	}
+	got, err := Execute(pl, ops, func(a, b string) string { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want.String() {
+		t.Fatalf("non-commutative result mismatch:\ngot  %s\nwant %s", got, want.String())
+	}
+}
+
+func TestCapacityMonotone(t *testing.T) {
+	m := logp.MustNew(16, 4, 1, 3)
+	prev := int64(-1)
+	for tt := logp.Time(0); tt <= 60; tt++ {
+		n, _ := Capacity(m, tt)
+		if n <= prev {
+			t.Fatalf("capacity not strictly increasing at t=%d: %d then %d", tt, prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestTimeForInverse(t *testing.T) {
+	machines := []logp.Machine{
+		logp.Postal(8, 2),
+		logp.MustNew(8, 5, 2, 4),
+		logp.MustNew(64, 6, 1, 2),
+	}
+	for _, m := range machines {
+		for _, n := range []int64{1, 2, 3, 10, 79, 200, 1000} {
+			tt := TimeFor(m, n)
+			c, _ := Capacity(m, tt)
+			if c < n {
+				t.Fatalf("%v n=%d: capacity(%d) = %d < n", m, n, tt, c)
+			}
+			if tt > 0 {
+				c2, _ := Capacity(m, tt-1)
+				if c2 >= n {
+					t.Fatalf("%v n=%d: TimeFor=%d not minimal", m, n, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := logp.MustNew(1, 3, 1, 2)
+	for tt := logp.Time(0); tt <= 10; tt++ {
+		n, _ := Capacity(m, tt)
+		if n != int64(tt)+1 {
+			t.Fatalf("P=1 capacity(%d) = %d, want %d", tt, n, tt+1)
+		}
+	}
+}
+
+func TestSmallDeadlines(t *testing.T) {
+	// For t <= o no reception completes; capacity is t+1 (local only).
+	m := logp.MustNew(8, 5, 2, 4)
+	for tt := logp.Time(0); tt <= 2; tt++ {
+		n, _ := Capacity(m, tt)
+		if n != int64(tt)+1 {
+			t.Fatalf("capacity(%d) = %d, want %d", tt, n, tt+1)
+		}
+	}
+}
+
+func TestScheduleValidProperty(t *testing.T) {
+	f := func(l, o, g, p, dt uint8) bool {
+		oo := logp.Time(o % 3)
+		m := logp.Machine{
+			P: int(p%10) + 1,
+			L: logp.Time(l%6) + 1,
+			O: oo,
+			G: oo + 1 + logp.Time(g%3),
+		}
+		tt := logp.Time(dt % 40)
+		pl, err := Build(m, tt)
+		if err != nil {
+			return false
+		}
+		s := pl.Schedule()
+		if len(schedule.Validate(s)) != 0 {
+			return false
+		}
+		// Execute and check the sum.
+		ops := make([]int, pl.N)
+		want := 0
+		for i := range ops {
+			ops[i] = i + 1
+			want += ops[i]
+		}
+		got, err := Execute(pl, ops, func(a, b int) int { return a + b })
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsSmallGap(t *testing.T) {
+	m := logp.Machine{P: 4, L: 3, O: 2, G: 2} // g < o+1
+	if err := Validate(m); err == nil {
+		t.Fatal("g < o+1 accepted")
+	}
+	if _, err := Build(m, 10); err == nil {
+		t.Fatal("Build accepted g < o+1")
+	}
+}
+
+func TestExecuteWrongOperandCount(t *testing.T) {
+	m := logp.Postal(4, 2)
+	pl, err := Build(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(pl, []int{1, 2}, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("wrong operand count accepted")
+	}
+}
+
+func TestOperandOrderIsPermutation(t *testing.T) {
+	m := logp.MustNew(8, 5, 2, 4)
+	pl, err := Build(m, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := pl.OperandOrder()
+	seen := make(map[int64]bool)
+	var total int64
+	for ni, idxs := range order {
+		if int64(len(idxs)) != pl.Locals[ni] {
+			t.Fatalf("node %d folds %d operands, plan says %d", ni, len(idxs), pl.Locals[ni])
+		}
+		for _, ix := range idxs {
+			if seen[ix] {
+				t.Fatalf("operand %d assigned twice", ix)
+			}
+			seen[ix] = true
+			total++
+		}
+	}
+	if total != pl.N {
+		t.Fatalf("order covers %d operands, want %d", total, pl.N)
+	}
+}
+
+func TestLemma51Identity(t *testing.T) {
+	// n = sum_i (S_i - (o+1) k_i) + P: check the per-processor accounting
+	// against the built plan across machines and deadlines.
+	machines := []logp.Machine{
+		logp.Postal(16, 3),
+		logp.MustNew(8, 5, 2, 4),
+		logp.MustNew(12, 7, 1, 4),
+	}
+	for _, m := range machines {
+		for _, tt := range []logp.Time{3, 9, 17, 28, 41} {
+			pl, err := Build(m, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var n int64
+			for ni := range pl.Tree.Nodes {
+				k := int64(len(pl.Tree.Nodes[ni].Children))
+				n += int64(pl.SendAt[ni]) - (int64(m.O)+1)*k + 1
+			}
+			if n != pl.N {
+				t.Fatalf("%v t=%d: Lemma 5.1 accounting %d != plan %d", m, tt, n, pl.N)
+			}
+		}
+	}
+}
+
+// exhaustiveCapacity computes the true maximum number of operands summable
+// in t cycles by brute force over all lazy single-send summation trees:
+// communication patterns are reversed broadcast trees on the (L+1, o, g)
+// machine (Section 5's correspondence), so we enumerate every tree shape —
+// not just the universal-greedy one — and maximize the total contribution
+// (o+1) + sum(t - d_i - o). This independently verifies that the greedy
+// universal tree in Capacity is optimal (Lemma 5.1's optimality argument).
+func exhaustiveCapacity(m logp.Machine, t logp.Time) int64 {
+	lm := logp.Machine{P: m.P, L: m.L + 1, O: m.O, G: m.G}
+	d := lm.D()
+	stride := lm.G
+	if lm.O > stride {
+		stride = lm.O
+	}
+	best := int64(t) + 1 // root alone: one free operand plus t unit adds
+	var rec func(cands []logp.Time, nodes int, contrib int64)
+	rec = func(cands []logp.Time, nodes int, contrib int64) {
+		if contrib > best {
+			best = contrib
+		}
+		if nodes >= m.P {
+			return
+		}
+		seen := map[logp.Time]bool{}
+		for i, c := range cands {
+			if c > t-m.O-1 || seen[c] {
+				continue // non-positive contribution or symmetric duplicate
+			}
+			seen[c] = true
+			save := cands[i]
+			cands[i] = c + stride
+			next := append(cands, c+d)
+			rec(next, nodes+1, contrib+int64(t-c-m.O))
+			cands[i] = save
+		}
+	}
+	rec([]logp.Time{d}, 1, int64(t)+1)
+	return best
+}
+
+func TestCapacityExhaustiveSmall(t *testing.T) {
+	machines := []logp.Machine{
+		logp.MustNew(4, 2, 0, 1),
+		logp.MustNew(5, 3, 1, 2),
+		logp.MustNew(6, 5, 2, 4),
+		logp.MustNew(4, 1, 0, 2),
+	}
+	for _, m := range machines {
+		for tt := logp.Time(0); tt <= 18; tt++ {
+			want := exhaustiveCapacity(m, tt)
+			got, _ := Capacity(m, tt)
+			if got != want {
+				t.Fatalf("%v t=%d: Capacity=%d, exhaustive=%d", m, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastDual(t *testing.T) {
+	// Section 5's duality: the plan's communication pattern reversed is an
+	// optimal broadcast on the (L+1, o, g) machine. The dual must validate
+	// and complete at max label = T - min send time, and each plan send at
+	// S must correspond to dual availability at T - S.
+	for _, m := range []logp.Machine{logp.MustNew(8, 5, 2, 4), logp.Postal(16, 3)} {
+		pl, err := Build(m, 28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual, err := pl.BroadcastDual()
+		if err != nil {
+			t.Fatal(err)
+		}
+		og := map[int]schedule.Origin{0: {Proc: 0, Time: 0}}
+		if vs := schedule.ValidateBroadcast(dual, og); len(vs) != 0 {
+			t.Fatalf("%v: dual invalid: %v", m, vs[0])
+		}
+		for ni := range pl.Tree.Nodes {
+			if pl.SendAt[ni]+pl.Tree.Nodes[ni].Label != pl.T {
+				t.Fatalf("%v: node %d sends at %d but dual availability is %d (T=%d)",
+					m, ni, pl.SendAt[ni], pl.Tree.Nodes[ni].Label, pl.T)
+			}
+		}
+	}
+}

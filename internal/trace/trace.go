@@ -1,0 +1,180 @@
+// Package trace renders schedules as the paper's figures do: per-processor
+// activity charts over time (Figure 1 right, Figure 6 left), reception
+// tables mapping (processor, time) to the item received (Figures 2, 4, 5),
+// and indented tree outlines (Figures 1, 2, 6). All output is plain text so
+// the bench harness can diff and embed it.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// Gantt renders one line per processor; each column is one cycle. Legend:
+// 'S' send overhead start, 's' send overhead continuation, 'R'/'r' receive,
+// '+' compute, '.' idle. In the postal model (o = 0) sends and receives
+// occupy single columns ('S'/'R'); a simultaneous send and receive renders
+// as 'X'.
+func Gantt(s *schedule.Schedule) string {
+	m := s.M
+	end := s.Makespan() + 1
+	if end > 2000 {
+		end = 2000 // keep renders bounded
+	}
+	grid := make([][]byte, m.P)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", int(end)))
+	}
+	mark := func(p int, at logp.Time, dur logp.Time, first, rest byte) {
+		if p < 0 || p >= m.P {
+			return
+		}
+		for c := logp.Time(0); c < dur && at+c < end; c++ {
+			if at+c < 0 {
+				continue
+			}
+			ch := rest
+			if c == 0 {
+				ch = first
+			}
+			cell := &grid[p][at+c]
+			switch {
+			case *cell == '.':
+				*cell = ch
+			case (*cell == 'S' && ch == 'R') || (*cell == 'R' && ch == 'S'):
+				*cell = 'X'
+			default:
+				*cell = '!'
+			}
+		}
+	}
+	for _, e := range s.Events {
+		switch e.Op {
+		case schedule.OpSend:
+			mark(e.Proc, e.Time, max1(m.O), 'S', 's')
+		case schedule.OpRecv:
+			mark(e.Proc, e.Time, max1(m.O), 'R', 'r')
+		case schedule.OpCompute:
+			mark(e.Proc, e.Time, e.Dur, '+', '+')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time  %s\n", ruler(int(end)))
+	for p := 0; p < m.P; p++ {
+		fmt.Fprintf(&b, "P%-4d %s\n", p, grid[p])
+	}
+	return b.String()
+}
+
+func max1(o logp.Time) logp.Time {
+	if o < 1 {
+		return 1
+	}
+	return o
+}
+
+// ruler returns a 0-based decade ruler like "0         1         2".
+func ruler(width int) string {
+	rb := []byte(strings.Repeat(" ", width))
+	for c := 0; c < width; c += 10 {
+		digits := fmt.Sprintf("%d", c)
+		for i := 0; i < len(digits) && c+i < width; i++ {
+			rb[c+i] = digits[i]
+		}
+	}
+	return string(rb)
+}
+
+// ReceptionTable renders, for each processor and each time step, the item
+// received at that step (1-based, as in the paper's figures), or '.' if
+// none. Only receive events are shown.
+func ReceptionTable(s *schedule.Schedule) string {
+	m := s.M
+	end := s.LastRecv() + 1
+	if end > 2000 {
+		end = 2000
+	}
+	width := len(fmt.Sprintf("%d", maxItem(s)+1))
+	if width < 2 {
+		width = 2
+	}
+	empty := strings.Repeat(".", 1) + strings.Repeat(" ", width-1)
+	rows := make([][]string, m.P)
+	for p := range rows {
+		rows[p] = make([]string, end)
+		for c := range rows[p] {
+			rows[p][c] = empty
+		}
+	}
+	for _, e := range s.Events {
+		if e.Op != schedule.OpRecv || e.Time < 0 || e.Time >= end {
+			continue
+		}
+		rows[e.Proc][e.Time] = fmt.Sprintf("%-*d", width, e.Item+1)
+	}
+	var b strings.Builder
+	b.WriteString("proc\\time ")
+	for c := logp.Time(0); c < end; c++ {
+		fmt.Fprintf(&b, "%-*d", width+1, c)
+	}
+	b.WriteByte('\n')
+	for p := 0; p < m.P; p++ {
+		fmt.Fprintf(&b, "P%-8d ", p)
+		for c := logp.Time(0); c < end; c++ {
+			b.WriteString(rows[p][c])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func maxItem(s *schedule.Schedule) int {
+	mx := 0
+	for _, e := range s.Events {
+		if e.Op != schedule.OpCompute && e.Item > mx {
+			mx = e.Item
+		}
+	}
+	return mx
+}
+
+// BlockTable renders the reception table restricted to the given processors
+// (e.g. one block of a block-cyclic schedule), reproducing Figure 4's view.
+func BlockTable(s *schedule.Schedule, procs []int) string {
+	end := s.LastRecv() + 1
+	if end > 2000 {
+		end = 2000
+	}
+	width := len(fmt.Sprintf("%d", maxItem(s)+1))
+	if width < 2 {
+		width = 2
+	}
+	var b strings.Builder
+	b.WriteString("proc\\time ")
+	for c := logp.Time(0); c < end; c++ {
+		fmt.Fprintf(&b, "%-*d", width+1, c)
+	}
+	b.WriteByte('\n')
+	for _, p := range procs {
+		row := make([]string, end)
+		for c := range row {
+			row[c] = "." + strings.Repeat(" ", width-1)
+		}
+		for _, e := range s.Events {
+			if e.Op == schedule.OpRecv && e.Proc == p && e.Time >= 0 && e.Time < end {
+				row[e.Time] = fmt.Sprintf("%-*d", width, e.Item+1)
+			}
+		}
+		fmt.Fprintf(&b, "P%-8d ", p)
+		for c := logp.Time(0); c < end; c++ {
+			b.WriteString(row[c])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"logpopt/internal/continuous"
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/summation"
+)
+
+func TestGanttFigure1(t *testing.T) {
+	m := logp.MustNew(8, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	g := Gantt(s)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 9 { // ruler + 8 processors
+		t.Fatalf("gantt has %d lines, want 9:\n%s", len(lines), g)
+	}
+	// P0 sends 4 messages starting at 0, 4, 8, 12 with o=2.
+	p0 := lines[1]
+	if !strings.Contains(p0, "Ss..Ss..Ss..Ss") {
+		t.Fatalf("P0 row unexpected: %q", p0)
+	}
+	if strings.Contains(g, "!") {
+		t.Fatalf("gantt shows conflicting cells:\n%s", g)
+	}
+}
+
+func TestGanttPostalFullDuplex(t *testing.T) {
+	// A postal schedule where a proc sends and receives at the same step
+	// must render 'X', not '!'.
+	m := logp.Postal(3, 2)
+	s := core.BroadcastSchedule(m, 0)
+	_ = s
+	// Build explicitly: 0->1 at 0 (recv at 2), 1->2 at 2.
+	s2 := core.BroadcastSchedule(m, 0)
+	g := Gantt(s2)
+	if strings.Contains(g, "!") {
+		t.Fatalf("unexpected conflict cells:\n%s", g)
+	}
+}
+
+func TestGanttSummationFigure6(t *testing.T) {
+	m := logp.ProfilePaperFig6
+	pl, err := summation.Build(m, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gantt(pl.Schedule())
+	if strings.Contains(g, "!") {
+		t.Fatalf("summation gantt has conflicts:\n%s", g)
+	}
+	// P0 (the root) computes during its final cycles up to t=28.
+	if !strings.Contains(g, "+") {
+		t.Fatal("no compute cells rendered")
+	}
+}
+
+func TestReceptionTableFigure2(t *testing.T) {
+	// Figure 2's continuous broadcast schedule: from step 10 onwards every
+	// non-source processor receives an item every step.
+	_, s, err := continuous.SolveAndSchedule(3, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := ReceptionTable(s)
+	lines := strings.Split(strings.TrimRight(tbl, "\n"), "\n")
+	if len(lines) != 11 { // header + 10 processors
+		t.Fatalf("table has %d lines, want 11", len(lines))
+	}
+	// The source row must be all dots.
+	if strings.ContainsAny(strings.TrimPrefix(lines[1], "P0"), "0123456789") {
+		t.Fatalf("source row shows receptions: %q", lines[1])
+	}
+}
+
+func TestBlockTable(t *testing.T) {
+	inst, s, err := continuous.SolveAndSchedule(3, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := inst.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := BlockTable(s, a.BlockProcs[len(a.BlockProcs)-1])
+	if tbl == "" || !strings.Contains(tbl, "P") {
+		t.Fatalf("empty block table: %q", tbl)
+	}
+}
+
+func TestRuler(t *testing.T) {
+	r := ruler(25)
+	if len(r) != 25 || !strings.HasPrefix(r, "0") || !strings.Contains(r, "10") || !strings.Contains(r, "20") {
+		t.Fatalf("ruler = %q", r)
+	}
+}
+
+func TestSVG(t *testing.T) {
+	m := logp.ProfilePaperFig1
+	s := core.BroadcastSchedule(m, 0)
+	svg := SVG(s)
+	for _, w := range []string{"<svg", "</svg>", "P7", "#4a7bd0", "#4fa36a", "makespan 24"} {
+		if !strings.Contains(svg, w) {
+			t.Fatalf("SVG missing %q", w)
+		}
+	}
+	// 7 sends + 7 recvs = 14 blocks; 7 message lines + grid lines.
+	if got := strings.Count(svg, "<rect"); got < 15 { // background + 14
+		t.Fatalf("SVG has %d rects", got)
+	}
+	// Summation SVG includes compute blocks.
+	pl, err := summation.Build(logp.ProfilePaperFig6, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(SVG(pl.Schedule()), "#c9a23a") {
+		t.Fatal("summation SVG missing compute blocks")
+	}
+}
+
+func TestSVGEscapesTitles(t *testing.T) {
+	if escape(`a<b>&"c`) != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape wrong: %q", escape(`a<b>&"c`))
+	}
+}
