@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json fuzz vet fmt examples reproduce clean
 
 all: build test
+
+# The default gate: build, vet, the full suite, and the race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -17,6 +20,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark results (BENCH_1.json).
+bench-json:
+	$(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
+		./internal/continuous/ ./internal/bench/ ./internal/sim/ \
+		| $(GO) run ./cmd/benchjson > BENCH_1.json
+	@cat BENCH_1.json
 
 # Short fuzzing pass over the schedule validator.
 fuzz:

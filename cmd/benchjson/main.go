@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin into
+// a JSON array on stdout, one object per benchmark result:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH_1.json
+//
+// Each object carries the benchmark name (with the -N GOMAXPROCS suffix
+// stripped into its own field), iteration count, ns/op, and — when -benchmem
+// was on — B/op and allocs/op. Lines that are not benchmark results are
+// ignored, so the full `go test` output can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+func parseLine(line string) (result, bool) {
+	var r result
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return r, false
+	}
+	name := fields[0]
+	r.GoMaxProcs = 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			r.GoMaxProcs = n
+			name = name[:i]
+		}
+	}
+	r.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return r, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in (value, unit) pairs: ns/op, B/op, allocs/op.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func main() {
+	var results []result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			r.Package = pkg
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if results == nil {
+		results = []result{} // emit [], not null, when nothing matched
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

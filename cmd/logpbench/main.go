@@ -6,6 +6,8 @@
 //	logpbench -exp F1        # one experiment (F1..F6, T22, T31, T33, T41a, T41b, L51, CMP)
 //	logpbench -all           # everything
 //	logpbench -list          # list experiment ids
+//	logpbench -parallel N    # cap the worker pool at N (default GOMAXPROCS);
+//	                         # output is byte-identical for every N
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"logpopt/internal/bench"
+	"logpopt/internal/par"
 )
 
 type experiment struct {
@@ -52,11 +55,14 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id to run (see -list)")
-		all  = flag.Bool("all", false, "run every experiment")
-		list = flag.Bool("list", false, "list experiment ids")
+		exp      = flag.String("exp", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		parallel = flag.Int("parallel", par.Limit(),
+			"worker-pool width for solver portfolios and table sweeps (default GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	par.SetLimit(*parallel)
 	exps := experiments()
 	switch {
 	case *list:

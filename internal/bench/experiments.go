@@ -11,9 +11,21 @@ import (
 	"logpopt/internal/core"
 	"logpopt/internal/kitem"
 	"logpopt/internal/logp"
+	"logpopt/internal/par"
 	"logpopt/internal/schedule"
 	"logpopt/internal/summation"
 )
+
+// The theorem sweeps below fan out one task per grid point on up to
+// par.Limit() workers (see cmd/logpbench's -parallel flag) and merge rows in
+// input order, so the rendered tables are byte-identical at every
+// parallelism level. Row cells are computed inside the worker; Table.Add
+// only does the final formatting on the merged slice.
+
+// gridRows evaluates one row per input in parallel, in input order.
+func gridRows[T any](in []T, f func(T) []any) [][]any {
+	return par.Map(in, f)
+}
 
 // Theorem22 sweeps P(t) against the generalized Fibonacci numbers f_t
 // (Theorem 2.2) and B against its inverse, for L in [1, lMax] and t in
@@ -23,16 +35,23 @@ func Theorem22(lMax, tMax int) *Table {
 		Title:  "Theorem 2.2: P(t; L,0,1) = f_t  (and B = InvF)",
 		Header: []string{"L", "t", "P(t) via DP", "f_t", "B(f_t)", "match"},
 	}
+	type point struct{ l, t int }
+	var grid []point
 	for l := 1; l <= lMax; l++ {
-		seq := core.NewSeq(l)
 		for t := 0; t <= tMax; t++ {
-			m := logp.Postal(2, logp.Time(l))
-			pt := core.Pt(m, logp.Time(t), 0)
-			ft := seq.F(t)
-			b := seq.InvF(ft)
-			pass := pt == ft && (ft == 1 || b == t)
-			tb.Add(l, t, pt, ft, b, ok(pass))
+			grid = append(grid, point{l, t})
 		}
+	}
+	for _, row := range gridRows(grid, func(pt point) []any {
+		seq := core.SeqFor(pt.l)
+		m := logp.Postal(2, logp.Time(pt.l))
+		p := core.Pt(m, logp.Time(pt.t), 0)
+		ft := seq.F(pt.t)
+		b := seq.InvF(ft)
+		pass := p == ft && (ft == 1 || b == pt.t)
+		return []any{pt.l, pt.t, p, ft, b, ok(pass)}
+	}) {
+		tb.Add(row...)
 	}
 	return tb
 }
@@ -93,7 +112,7 @@ func KItemTable() *Table {
 		{l: 4, p: 20, k: 12}, // ditto
 		{l: 2, p: 30, k: 20}, // ditto
 	}
-	for _, c := range cases {
+	for _, row := range gridRows(cases, func(c cfg) []any {
 		b := kitem.BoundsFor(c.l, c.p, int64(c.k))
 		optimal := "-"
 		if _, s, err := kitem.OptimalGeneral(logp.Time(c.l), c.p, c.k); err == nil {
@@ -120,8 +139,10 @@ func KItemTable() *Table {
 		} else {
 			pass = pass && c.l == 2 // only L=2 near-capacity instances may lack the optimal route
 		}
-		tb.Add(c.l, c.p, c.k, b.Lower, b.SingleSending, b.Upper,
-			optimal, greedy, buffered, maxbuf, ok(pass))
+		return []any{c.l, c.p, c.k, b.Lower, b.SingleSending, b.Upper,
+			optimal, greedy, buffered, maxbuf, ok(pass)}
+	}) {
+		tb.Add(row...)
 	}
 	tb.Note("optimal = block-cyclic route: exact single-sending optimum for any P (beyond the paper's P(t) grid);")
 	tb.Note("  '-' only for L=2 near-capacity trees, Theorem 3.4's regime")
@@ -140,22 +161,44 @@ func ContinuousTable(tMaxFactor int) *Table {
 	if tMaxFactor < 1 {
 		tMaxFactor = 2
 	}
+	// Fan out one solver task per (L, t) grid point; statuses merge back
+	// into per-L rows in input order.
+	type point struct{ l, t int }
+	var grid []point
+	for l := 2; l <= 10; l++ {
+		for t := l; t <= tMaxFactor*l+8; t++ {
+			grid = append(grid, point{l, t})
+		}
+	}
+	status := par.Map(grid, func(pt point) int {
+		inst, err := continuous.NewInstance(pt.l, pt.t)
+		if err != nil {
+			return -1
+		}
+		err = inst.Solve(0)
+		switch {
+		case err == nil:
+			return 0 // solved
+		case errors.Is(err, continuous.ErrNoSolution):
+			return 1 // infeasible
+		default:
+			return 2 // unsolved
+		}
+	})
 	for l := 2; l <= 10; l++ {
 		tMax := tMaxFactor*l + 8
 		var solved, infeasible, unsolved []int
-		for t := l; t <= tMax; t++ {
-			inst, err := continuous.NewInstance(l, t)
-			if err != nil {
+		for i, pt := range grid {
+			if pt.l != l {
 				continue
 			}
-			err = inst.Solve(0)
-			switch {
-			case err == nil:
-				solved = append(solved, t)
-			case errors.Is(err, continuous.ErrNoSolution):
-				infeasible = append(infeasible, t)
-			default:
-				unsolved = append(unsolved, t)
+			switch status[i] {
+			case 0:
+				solved = append(solved, pt.t)
+			case 1:
+				infeasible = append(infeasible, pt.t)
+			case 2:
+				unsolved = append(unsolved, pt.t)
 			}
 		}
 		tb.Add(l, fmt.Sprintf("[%d,%d]", l, tMax),
@@ -365,15 +408,27 @@ func GeneralPTable(pMax int) *Table {
 	if pMax < 10 {
 		pMax = 10
 	}
+	// One solver task per (L, p) grid point, merged into per-L rows in
+	// input order.
+	type point struct{ l, p int }
+	var grid []point
+	for _, l := range []int{2, 3, 4, 5} {
+		for p := 3; p <= pMax; p++ {
+			grid = append(grid, point{l, p})
+		}
+	}
+	failed := par.Map(grid, func(pt point) bool {
+		inst, err := continuous.NewInstanceGeneral(pt.l, pt.p)
+		if err != nil {
+			return false
+		}
+		return inst.Solve(0) != nil
+	})
 	for _, l := range []int{2, 3, 4, 5} {
 		var unsolved []int
-		for p := 3; p <= pMax; p++ {
-			inst, err := continuous.NewInstanceGeneral(l, p)
-			if err != nil {
-				continue
-			}
-			if err := inst.Solve(0); err != nil {
-				unsolved = append(unsolved, p)
+		for i, pt := range grid {
+			if pt.l == l && failed[i] {
+				unsolved = append(unsolved, pt.p)
 			}
 		}
 		solved := fmt.Sprintf("all other p in [3,%d]", pMax)

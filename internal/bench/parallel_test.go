@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+
+	"logpopt/internal/par"
+)
+
+// TestTablesDeterministicAcrossParallelism renders every parallel sweep at
+// several worker-pool widths and requires byte-identical output: the grid
+// runner must merge rows in input order no matter how the work was scheduled.
+func TestTablesDeterministicAcrossParallelism(t *testing.T) {
+	tables := map[string]func() *Table{
+		"Theorem22":  func() *Table { return Theorem22(10, 24) },
+		"KItem":      KItemTable,
+		"Continuous": func() *Table { return ContinuousTable(2) },
+		"GeneralP":   func() *Table { return GeneralPTable(40) },
+	}
+	oldLimit := par.Limit()
+	defer par.SetLimit(oldLimit)
+
+	par.SetLimit(1)
+	want := make(map[string]string)
+	for name, f := range tables {
+		want[name] = f().String()
+	}
+	for _, lim := range []int{2, 8} {
+		par.SetLimit(lim)
+		for name, f := range tables {
+			if got := f().String(); got != want[name] {
+				t.Errorf("%s: output at parallelism %d differs from sequential:\n%s\n--- want ---\n%s",
+					name, lim, got, want[name])
+			}
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the parallel grid runner on the k-item
+// scheduler comparison sweep (real per-row work: greedy scheduling plus
+// simulator validation, nothing memoized).
+func BenchmarkSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := KItemTable(); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the same sweep pinned to one worker, for
+// computing the parallel speedup on multi-core hosts.
+func BenchmarkSweepSequential(b *testing.B) {
+	old := par.Limit()
+	par.SetLimit(1)
+	defer par.SetLimit(old)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := KItemTable(); tbl == nil {
+			b.Fatal("nil table")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package continuous
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file holds the package-level memoization layer. Sweeps (the bench
+// harness, the L=2 pruning enumeration, repeated test solves) hit the same
+// word-assignment problems over and over; caching the portfolio results and
+// the per-latency strong solvers makes every repeat solve O(solution size)
+// and — because all guards are plain mutexes around deterministic values —
+// keeps results identical under any degree of concurrency.
+
+// solveKey identifies one base-solver portfolio run. The structural
+// signature sig distinguishes instances that share (L, T, P) but have
+// different trees (the L=2 construction enumerates many prunings of the
+// same horizon tree), and the budget/seed fields keep runs with different
+// search limits apart, since the budget changes the outcome for hard
+// instances.
+type solveKey struct {
+	l, t, p int
+	sig     uint64
+	strong  bool
+	seeds   int
+	budget  int64 // base budget of the ladder
+	epochs  int
+}
+
+// solveVal is a memoized portfolio result. words are shared, never mutated:
+// every consumer copies letter indices out (applySolution, Instance.Solve)
+// or treats them as immutable (strong composition).
+type solveVal struct {
+	words []idxWord
+	recv  int
+	err   error
+}
+
+var (
+	solveMu    sync.Mutex
+	solveMemo  = map[solveKey]solveVal{}
+	strongMu   sync.Mutex
+	strongSlvs = map[int]*strongSolver{}
+)
+
+// signature fingerprints the instance's combinatorial structure: the sorted
+// block (size, delay) list and the leaf-delay multiset, hashed FNV-1a style.
+// Two instances with equal (L, T, P, signature) pose the same word problem.
+func signature(inst *Instance) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int) {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	for _, b := range inst.Blocks {
+		mix(b.Size)
+		mix(b.Delay)
+	}
+	delays := make([]int, 0, len(inst.LeafCount))
+	for d := range inst.LeafCount {
+		delays = append(delays, d)
+	}
+	sort.Ints(delays)
+	for _, d := range delays {
+		mix(d)
+		mix(inst.LeafCount[d])
+	}
+	return h
+}
+
+// solveCached runs solvePortfolio through the package-level memo. Concurrent
+// misses on the same key may compute the result more than once; both compute
+// the identical deterministic value, so the last write is harmless.
+func solveCached(inst *Instance, budgets []int64, seeds int, strong bool) ([]idxWord, int, error) {
+	key := solveKey{
+		l:      inst.L,
+		t:      inst.T,
+		p:      inst.P,
+		sig:    signature(inst),
+		strong: strong,
+		seeds:  seeds,
+		budget: budgets[0],
+		epochs: len(budgets),
+	}
+	solveMu.Lock()
+	if v, ok := solveMemo[key]; ok {
+		solveMu.Unlock()
+		return v.words, v.recv, v.err
+	}
+	solveMu.Unlock()
+	words, recv, err := solvePortfolio(inst, budgets, seeds, strong)
+	solveMu.Lock()
+	solveMemo[key] = solveVal{words: words, recv: recv, err: err}
+	solveMu.Unlock()
+	return words, recv, err
+}
+
+// strongFor returns the strong solution for (l, t), building every lower
+// horizon first so the inductive composition I(t) = I(t-1) ⊎ I(t-L) finds
+// its sub-solutions. The per-latency solvers are package-level so sweeps
+// over t (and repeated sweeps across experiments) reuse all lower horizons;
+// the coarse lock serializes cache growth while the base-case portfolio
+// inside still fans out across seeds.
+func strongFor(l, t int) *strongSolution {
+	strongMu.Lock()
+	defer strongMu.Unlock()
+	ss := strongSlvs[l]
+	if ss == nil {
+		ss = newStrongSolver(l)
+		strongSlvs[l] = ss
+	}
+	for tt := 2*l - 2; tt <= t; tt++ {
+		ss.solutionFor(tt)
+	}
+	return ss.cache[t]
+}
+
+// resetCaches clears every package-level cache; benchmarks use it to measure
+// cold-solve cost, and tests use it to exercise both cold and warm paths.
+func resetCaches() {
+	solveMu.Lock()
+	solveMemo = map[solveKey]solveVal{}
+	solveMu.Unlock()
+	strongMu.Lock()
+	strongSlvs = map[int]*strongSolver{}
+	strongMu.Unlock()
+}

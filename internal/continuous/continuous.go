@@ -70,8 +70,7 @@ func NewInstance(l, t int) (*Instance, error) {
 	if t < l {
 		return nil, fmt.Errorf("continuous: t=%d < L=%d (single non-source processor; trivial)", t, l)
 	}
-	seq := core.NewSeq(l)
-	p := int(seq.F(t))
+	p := int(core.SeqFor(l).F(t))
 	tree := core.OptimalTree(logp.Postal(p, logp.Time(l)), p)
 	if got := int(tree.MaxLabel()); got != t {
 		return nil, fmt.Errorf("continuous: tree max label %d != t=%d", got, t)
@@ -159,31 +158,31 @@ func wordSlots(inst *Instance) int {
 
 func mod(a, r int) int { return ((a % r) + r) % r }
 
+// solveDirectSeeds is the number of letter orders the direct (non-strong)
+// portfolio races before falling back to the inductive construction.
+const solveDirectSeeds = 4
+
 // Solve assigns words to every block and a delay to the receive-only
-// processor. It first backtracks directly over the exact letter multiset and
-// the residue criterion (maxNodes bounds that search; <= 0 means a default).
-// If direct search does not finish, it falls back to the paper's inductive
-// construction (Section 3.3): strong base cases with the receive-only
-// processor on 'b' and the root word in the canonical family
-// a^{L-2}(ca)^j b^m, composed upward via I(t) = I(t-1) ⊎ I(t-L). On success
-// the instance is marked solved and can build schedules.
+// processor. It first runs a parallel portfolio of direct backtracking
+// searches over the exact letter multiset and the residue criterion — all
+// letter-order seeds race on up to par.Limit() workers, with the lowest
+// successful seed winning so results match sequential execution exactly
+// (maxNodes bounds each attempt; <= 0 means a default). If direct search
+// does not finish, it falls back to the paper's inductive construction
+// (Section 3.3): strong base cases with the receive-only processor on 'b'
+// and the root word in the canonical family a^{L-2}(ca)^j b^m, composed
+// upward via I(t) = I(t-1) ⊎ I(t-L). Results are memoized package-wide, so
+// repeated solves of the same instance are O(solution size). On success the
+// instance is marked solved and can build schedules. Solve may be called
+// concurrently on different Instance values for the same problem; a single
+// Instance must not be solved from multiple goroutines at once (Solve
+// mutates the receiver's blocks).
 func (inst *Instance) Solve(maxNodes int64) error {
 	if maxNodes <= 0 {
 		maxNodes = 4_000_000
 	}
-	var err error
-	for seed := int64(0); seed < 4; seed++ {
-		var words []idxWord
-		var recv int
-		words, recv, err = solveBase(inst, solveOpts{maxNodes: maxNodes, seed: seed})
-		if err != nil {
-			if !isBudgetErr(err) {
-				// Exhaustive search proved no solution exists (the letter
-				// order does not affect completeness): report immediately.
-				return err
-			}
-			continue
-		}
+	words, recv, err := solveCached(inst, []int64{maxNodes}, solveDirectSeeds, false)
+	if err == nil {
 		for bi := range inst.Blocks {
 			b := &inst.Blocks[bi]
 			b.Word = make([]int, len(words[bi]))
@@ -195,6 +194,11 @@ func (inst *Instance) Solve(maxNodes int64) error {
 		inst.solved = true
 		return nil
 	}
+	if !isBudgetErr(err) {
+		// Exhaustive search proved no solution exists (the letter order
+		// does not affect completeness): report immediately.
+		return err
+	}
 	if inst.L < 3 {
 		return err
 	}
@@ -204,22 +208,6 @@ func (inst *Instance) Solve(maxNodes int64) error {
 		}
 	}
 	return err
-}
-
-// strongCache holds per-latency strong solvers so that sweeps over t reuse
-// lower horizons' solutions.
-var strongCache = map[int]*strongSolver{}
-
-func strongFor(l, t int) *strongSolution {
-	ss := strongCache[l]
-	if ss == nil {
-		ss = newStrongSolver(l)
-		strongCache[l] = ss
-	}
-	for tt := 2*l - 2; tt <= t; tt++ {
-		ss.solutionFor(tt)
-	}
-	return ss.cache[t]
 }
 
 // Delay returns the per-item delay the solved instance achieves: L + T.
@@ -401,8 +389,7 @@ func NewInstanceGeneral(l, p int) (*Instance, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("continuous: need at least 2 non-source processors, got %d", p)
 	}
-	seq := core.NewSeq(l)
-	t := seq.InvF(int64(p))
+	t := core.SeqFor(l).InvF(int64(p))
 	tree := core.OptimalTree(logp.Postal(p, logp.Time(l)), p)
 	if got := int(tree.MaxLabel()); got != t {
 		return nil, fmt.Errorf("continuous: tree max label %d != B(p)=%d", got, t)

@@ -3,6 +3,8 @@ package continuous
 import (
 	"errors"
 	"fmt"
+
+	"logpopt/internal/par"
 )
 
 // Sentinel errors distinguishing "ran out of search budget" (retrying with a
@@ -12,6 +14,10 @@ var (
 	ErrBudget     = errors.New("search budget exhausted")
 	ErrNoSolution = errors.New("no block-cyclic solution")
 )
+
+// errCanceled marks a search attempt cut short because a portfolio sibling
+// already decided the instance; it never escapes the portfolio layer.
+var errCanceled = errors.New("search canceled")
 
 func isBudgetErr(err error) bool { return errors.Is(err, ErrBudget) }
 
@@ -90,6 +96,10 @@ type solveOpts struct {
 	// shuffle. Restarting a stuck search with a different order often
 	// succeeds quickly (heavy-tailed search behaviour).
 	seed int64
+	// stop, when non-nil, is polled coarsely (every stopPollMask+1 nodes)
+	// so a portfolio sibling's success or infeasibility proof cancels this
+	// attempt. A canceled search returns errCanceled.
+	stop *par.Stop
 }
 
 // letterOrder returns the iteration order over letter indices for a seed.
@@ -115,9 +125,181 @@ func letterOrder(l int, seed int64) []int {
 	return ord
 }
 
+// stopPollMask sets the cancellation polling cadence: the stop token is
+// checked once every 8192 search nodes, keeping the atomic load off the
+// per-node hot path while bounding cancellation latency.
+const stopPollMask = 8191
+
+// baseSearch is the state of one backtracking run over an instance's blocks.
+// It replaces the former closure-based implementation: the recursion visits
+// the search tree in exactly the same order (so budgets and found words are
+// bit-for-bit identical), but state lives in struct fields instead of
+// heap-allocated closure captures, and block residues are precomputed, which
+// roughly halves the per-node cost of the hottest loop in the repository.
+type baseSearch struct {
+	inst    *Instance
+	t, l    int
+	strong  bool
+	counts  []int
+	words   []idxWord
+	order   []int // block-processing order (indices into inst.Blocks)
+	letters []int
+	budget  int64
+	steps   int64
+	stop    *par.Stop
+	stopped bool
+
+	// resTab[bi] holds, for block bi of size r, the residue
+	// mod(p-(t-i), r) at flat index (p-1)*l + i; seenTab[bi] is the block's
+	// residue-occupancy array with the uppercase (delay) bit preset.
+	resTab  [][]int
+	seenTab [][]bool
+
+	// Strong-mode sum pruning (see solveBase).
+	consumed, slotsLeft, targetConsumed int
+	rootBi, rootSize                    int
+	recvOnly                            int
+}
+
+// pollStop checks the cancellation token every stopPollMask+1 nodes; on
+// cancellation the budget is zeroed so the recursion unwinds immediately.
+func (s *baseSearch) pollStop() {
+	s.steps++
+	if s.steps&stopPollMask == 0 && s.stop != nil && s.stop.Stopped() {
+		s.stopped = true
+		s.budget = 0
+	}
+}
+
+// sumPruned reports whether consuming one more letter of index extra makes
+// the strong-mode sum target unreachable.
+func (s *baseSearch) sumPruned(extra int) bool {
+	if s.targetConsumed < 0 {
+		return false
+	}
+	c := s.consumed + extra
+	left := s.slotsLeft - 1
+	return c > s.targetConsumed || c+left*(s.l-1) < s.targetConsumed
+}
+
+func (s *baseSearch) fill(oi, bi, p int, prev idxWord) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	s.pollStop()
+	r := s.inst.Blocks[bi].Size
+	if p == r {
+		return s.solveFrom(oi + 1)
+	}
+	row := s.resTab[bi][(p-1)*s.l:]
+	seen := s.seenTab[bi]
+	w := s.words[bi]
+	for _, i := range s.letters {
+		if s.counts[i] == 0 {
+			continue
+		}
+		res := row[i]
+		if seen[res] {
+			continue
+		}
+		childPrev := prev
+		if prev != nil && p-1 < len(prev) {
+			if i > prev[p-1] {
+				continue
+			}
+			if i < prev[p-1] {
+				childPrev = nil
+			}
+		}
+		if s.sumPruned(i) {
+			continue
+		}
+		w[p-1] = i
+		s.counts[i]--
+		seen[res] = true
+		s.consumed += i
+		s.slotsLeft--
+		if s.fill(oi, bi, p+1, childPrev) {
+			return true
+		}
+		s.consumed -= i
+		s.slotsLeft++
+		seen[res] = false
+		s.counts[i]++
+	}
+	return false
+}
+
+func (s *baseSearch) solveFrom(oi int) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	if oi == len(s.order) {
+		return s.finish()
+	}
+	bi := s.order[oi]
+	b := &s.inst.Blocks[bi]
+	if b.Size == 1 {
+		return s.solveFrom(oi + 1)
+	}
+	var prev idxWord
+	if oi > 0 {
+		pb := s.order[oi-1]
+		if s.inst.Blocks[pb].Size == b.Size && s.inst.Blocks[pb].Delay == b.Delay && s.words[pb] != nil {
+			prev = s.words[pb]
+		}
+	}
+	return s.fill(oi, bi, 1, prev)
+}
+
+func (s *baseSearch) finish() bool {
+	if s.strong {
+		// The leftover letters fill the root word; they must have the
+		// self-sustaining sum r-L+1 and admit a legal word.
+		left, sum := 0, 0
+		for i, c := range s.counts {
+			left += c
+			sum += c * i
+		}
+		if left != s.rootSize-1 || sum != s.rootSize-s.l+1 {
+			return false
+		}
+		pool := make(idxWord, 0, left)
+		for i, c := range s.counts {
+			for j := 0; j < c; j++ {
+				pool = append(pool, i)
+			}
+		}
+		w := solveSingleWord(s.t, s.rootSize, 0, s.l, pool)
+		if w == nil {
+			return false
+		}
+		s.words[s.rootBi] = w
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		return true
+	}
+	// Receive-only: any remaining letter (exactly one remains).
+	for i := 0; i < s.l; i++ {
+		if s.counts[i] > 0 {
+			s.counts[i]--
+			if countsAllZero(s.counts) {
+				s.recvOnly = i
+				return true
+			}
+			s.counts[i]++
+		}
+	}
+	return false
+}
+
 // solveBase runs the backtracking solver over the instance's blocks with the
 // exact leaf-letter multiset, in index form. It returns the words per block
-// (parallel to inst.Blocks) and the receive-only letter index.
+// (parallel to inst.Blocks) and the receive-only letter index. It is safe to
+// run concurrently on the same instance: the instance is only read.
 func solveBase(inst *Instance, opts solveOpts) ([]idxWord, int, error) {
 	t := inst.T
 	// The alphabet spans the distinct leaf delays: exactly L letters for a
@@ -132,7 +314,6 @@ func solveBase(inst *Instance, opts solveOpts) ([]idxWord, int, error) {
 		}
 		counts[i] = c
 	}
-	words := make([]idxWord, len(inst.Blocks))
 	rootBi := -1
 	for bi, b := range inst.Blocks {
 		if b.Node == 0 {
@@ -169,161 +350,76 @@ func solveBase(inst *Instance, opts solveOpts) ([]idxWord, int, error) {
 		order = append(order, bi)
 	}
 
+	s := &baseSearch{
+		inst:     inst,
+		t:        t,
+		l:        l,
+		strong:   opts.strong,
+		counts:   counts,
+		words:    make([]idxWord, len(inst.Blocks)),
+		order:    order,
+		letters:  letterOrder(l, opts.seed),
+		budget:   budget,
+		stop:     opts.stop,
+		rootBi:   rootBi,
+		rootSize: rootSize,
+		recvOnly: recvOnly,
+
+		targetConsumed: -1,
+	}
+
 	// Strong-mode sum pruning: the letters consumed by non-root words must
 	// total exactly totalSum - (rootSize-L+1), so partial assignments whose
 	// sum cannot reach (or already exceeds) the target are cut immediately.
-	consumed, slotsLeft, targetConsumed := 0, 0, -1
 	if opts.strong {
 		totalSum := 0
 		for i, c := range counts {
 			totalSum += c * i
 		}
-		targetConsumed = totalSum - (rootSize - l + 1)
-		if targetConsumed < 0 {
+		s.targetConsumed = totalSum - (rootSize - l + 1)
+		if s.targetConsumed < 0 {
 			return nil, 0, fmt.Errorf("continuous: strong sum target infeasible (L=%d t=%d)", l, t)
 		}
 		for _, bi := range order {
-			slotsLeft += inst.Blocks[bi].Size - 1
+			s.slotsLeft += inst.Blocks[bi].Size - 1
 		}
 	}
-	sumPruned := func(extra int) bool {
-		if targetConsumed < 0 {
-			return false
-		}
-		c := consumed + extra
-		left := slotsLeft - 1
-		return c > targetConsumed || c+left*(l-1) < targetConsumed
-	}
 
-	letters := letterOrder(l, opts.seed)
-
-	var finish func() bool
-	var solveFrom func(oi int) bool
-	var fill func(oi int, bi, p int, seen []bool, prev idxWord) bool
-
-	fill = func(oi, bi, p int, seen []bool, prev idxWord) bool {
-		if budget <= 0 {
-			return false
-		}
-		budget--
-		b := &inst.Blocks[bi]
-		r := b.Size
-		if p == r {
-			return solveFrom(oi + 1)
-		}
-		for _, i := range letters {
-			if counts[i] == 0 {
-				continue
-			}
-			res := mod(p-(t-i), r)
-			if seen[res] {
-				continue
-			}
-			childPrev := prev
-			if prev != nil && p-1 < len(prev) {
-				if i > prev[p-1] {
-					continue
-				}
-				if i < prev[p-1] {
-					childPrev = nil
-				}
-			}
-			if sumPruned(i) {
-				continue
-			}
-			words[bi][p-1] = i
-			counts[i]--
-			seen[res] = true
-			consumed += i
-			slotsLeft--
-			if fill(oi, bi, p+1, seen, childPrev) {
-				return true
-			}
-			consumed -= i
-			slotsLeft++
-			seen[res] = false
-			counts[i]++
-		}
-		return false
-	}
-
-	solveFrom = func(oi int) bool {
-		if budget <= 0 {
-			return false
-		}
-		budget--
-		if oi == len(order) {
-			return finish()
-		}
-		bi := order[oi]
+	// Precompute per-block residue tables and occupancy arrays (with the
+	// uppercase/delay residue preset) so the inner search loop does no
+	// modular arithmetic.
+	s.resTab = make([][]int, len(inst.Blocks))
+	s.seenTab = make([][]bool, len(inst.Blocks))
+	for bi := range inst.Blocks {
 		b := &inst.Blocks[bi]
 		r := b.Size
 		if r == 1 {
-			words[bi] = idxWord{}
-			return solveFrom(oi + 1)
+			s.words[bi] = idxWord{}
+			continue
 		}
-		words[bi] = make(idxWord, r-1)
+		s.words[bi] = make(idxWord, r-1)
+		tab := make([]int, (r-1)*l)
+		for p := 1; p < r; p++ {
+			for i := 0; i < l; i++ {
+				tab[(p-1)*l+i] = mod(p-(t-i), r)
+			}
+		}
+		s.resTab[bi] = tab
 		seen := make([]bool, r)
 		seen[mod(-b.Delay, r)] = true
-		var prev idxWord
-		if oi > 0 {
-			pb := order[oi-1]
-			if inst.Blocks[pb].Size == r && inst.Blocks[pb].Delay == b.Delay && words[pb] != nil {
-				prev = words[pb]
-			}
-		}
-		return fill(oi, bi, 1, seen, prev)
+		s.seenTab[bi] = seen
 	}
 
-	finish = func() bool {
-		if opts.strong {
-			// The leftover letters fill the root word; they must have the
-			// self-sustaining sum r-L+1 and admit a legal word.
-			left, sum := 0, 0
-			for i, c := range counts {
-				left += c
-				sum += c * i
-			}
-			if left != rootSize-1 || sum != rootSize-l+1 {
-				return false
-			}
-			letters := make(idxWord, 0, left)
-			for i, c := range counts {
-				for j := 0; j < c; j++ {
-					letters = append(letters, i)
-				}
-			}
-			w := solveSingleWord(t, rootSize, 0, l, letters)
-			if w == nil {
-				return false
-			}
-			words[rootBi] = w
-			for i := range counts {
-				counts[i] = 0
-			}
-			return true
+	if !s.solveFrom(0) {
+		if s.stopped {
+			return nil, 0, errCanceled
 		}
-		// Receive-only: any remaining letter (exactly one remains).
-		for i := 0; i < l; i++ {
-			if counts[i] > 0 {
-				counts[i]--
-				if countsAllZero(counts) {
-					recvOnly = i
-					return true
-				}
-				counts[i]++
-			}
-		}
-		return false
-	}
-
-	if !solveFrom(0) {
-		if budget <= 0 {
-			return nil, 0, fmt.Errorf("continuous: %w for L=%d t=%d", ErrBudget, l, t)
+		if s.budget <= 0 {
+			return nil, 0, fmt.Errorf("continuous: %w (maxNodes=%d) for L=%d t=%d", ErrBudget, budget, l, t)
 		}
 		return nil, 0, fmt.Errorf("continuous: %w for L=%d t=%d", ErrNoSolution, l, t)
 	}
-	return words, recvOnly, nil
+	return s.words, s.recvOnly, nil
 }
 
 func countsAllZero(counts []int) bool {
@@ -333,6 +429,72 @@ func countsAllZero(counts []int) bool {
 		}
 	}
 	return true
+}
+
+// Portfolio configuration for base-case search: every (budget epoch, seed)
+// pair races under par.Portfolio; budgets escalate geometrically by
+// budgetGrowth per epoch, capped at budgetCap times the base budget. Stuck
+// backtracking runs are heavy-tailed, so many short runs with different
+// letter orders beat one long run, and the genuinely infeasible instances
+// (observed exactly at t = 2L for even L) exhaust their search space quickly
+// rather than timing out.
+const (
+	portfolioSeeds = 8  // seeds raced per budget epoch in strong mode
+	budgetGrowth   = 16 // geometric escalation factor between epochs
+	budgetCap      = 16 // hard cap: no epoch exceeds budgetCap x base
+)
+
+// budgetLadder returns the geometric escalation schedule for a base budget:
+// base, base*budgetGrowth, ... up to (and never beyond) base*budgetCap.
+func budgetLadder(base int64) []int64 {
+	var ladder []int64
+	for b, cap := base, base*budgetCap; b <= cap; b *= budgetGrowth {
+		ladder = append(ladder, b)
+	}
+	return ladder
+}
+
+// solvePortfolio races the base solver across every (budget epoch, seed)
+// pair — epoch-major, seed-minor, the exact order the former sequential loop
+// used — on up to par.Limit() workers. Determinism: the winner is always the
+// lowest-index hit (par.Portfolio cancels only attempts above a hit), so the
+// returned words are identical to sequential execution for every parallelism
+// level; a definitive infeasibility proof (ErrNoSolution) from any attempt
+// short-circuits all workers, since exhaustion of the search space does not
+// depend on the letter order.
+func solvePortfolio(inst *Instance, budgets []int64, seeds int, strong bool) ([]idxWord, int, error) {
+	type attemptRes struct {
+		words []idxWord
+		recv  int
+		err   error
+	}
+	n := len(budgets) * seeds
+	res := make([]attemptRes, n)
+	winner, aborted := par.Portfolio(n, func(k int, stop *par.Stop) par.Outcome {
+		words, recv, err := solveBase(inst, solveOpts{
+			maxNodes: budgets[k/seeds],
+			strong:   strong,
+			seed:     int64(k % seeds),
+			stop:     stop,
+		})
+		res[k] = attemptRes{words: words, recv: recv, err: err}
+		switch {
+		case err == nil:
+			return par.Hit
+		case errors.Is(err, errCanceled) || isBudgetErr(err):
+			return par.Miss
+		default:
+			return par.Abort // exhaustive proof: no solution for any seed
+		}
+	})
+	if aborted {
+		return nil, 0, res[winner].err
+	}
+	if winner >= 0 {
+		return res[winner].words, res[winner].recv, nil
+	}
+	return nil, 0, fmt.Errorf("continuous: %w (%d seeds, budgets up to %d) for L=%d t=%d",
+		ErrBudget, seeds, budgets[len(budgets)-1], inst.alphabet(), inst.T)
 }
 
 // strongSolve computes strong solutions bottom-up from t = 2L-2 to the
@@ -375,37 +537,26 @@ func (ss *strongSolver) solutionFor(t int) *strongSolution {
 			return sol
 		}
 	}
-	// Base case by constrained search, with randomized restarts under
-	// escalating budgets: stuck backtracking runs are heavy-tailed, so many
-	// short runs with different letter orders beat one long run, and the
-	// genuinely infeasible instances (observed exactly at t = 2L for even L)
-	// exhaust their search space quickly rather than timing out.
+	// Base case by portfolio search: all seed orders race in parallel under
+	// the escalating budget ladder (memoized package-wide, see cache.go).
 	inst, err := NewInstance(ss.l, t)
 	if err != nil {
 		return nil
 	}
-	for _, budget := range []int64{ss.baseBudget, ss.baseBudget * 16} {
-		for seed := int64(0); seed < 8; seed++ {
-			words, recvOnly, serr := solveBase(inst, solveOpts{maxNodes: budget, strong: true, seed: seed})
-			if serr != nil {
-				if !isBudgetErr(serr) {
-					// Definitive infeasibility: the search space was
-					// exhausted, so retrying seeds or escalating is futile.
-					return nil
-				}
-				continue
-			}
-			sol = &strongSolution{t: t, words: make(map[int][]idxWord), recvOnly: recvOnly}
-			for bi, b := range inst.Blocks {
-				sol.words[b.Size] = append(sol.words[b.Size], words[bi])
-				if b.Node == 0 {
-					sol.rootWord = words[bi]
-				}
-			}
-			return sol
+	words, recvOnly, serr := solveCached(inst, budgetLadder(ss.baseBudget), portfolioSeeds, true)
+	if serr != nil {
+		// Either every attempt exhausted its budget or the search space was
+		// exhausted (definitive infeasibility); both mean no strong base.
+		return nil
+	}
+	sol = &strongSolution{t: t, words: make(map[int][]idxWord), recvOnly: recvOnly}
+	for bi, b := range inst.Blocks {
+		sol.words[b.Size] = append(sol.words[b.Size], words[bi])
+		if b.Node == 0 {
+			sol.rootWord = words[bi]
 		}
 	}
-	return nil
+	return sol
 }
 
 // compose builds the strong solution for horizon t from the solutions at

@@ -1,0 +1,75 @@
+package core
+
+import "sync"
+
+// SafeSeq is a concurrency-safe view of a generalized Fibonacci sequence.
+// Unlike Seq (which memoizes without locking and is documented as not safe
+// for concurrent use), a SafeSeq may be shared freely across goroutines:
+// the parallel sweep engine and the portfolio solver all read f_t / B
+// tables through one process-wide instance per latency, so the tables are
+// extended once instead of being recomputed per call site.
+type SafeSeq struct {
+	mu sync.Mutex
+	s  *Seq
+}
+
+// L returns the latency parameter of the sequence.
+func (ss *SafeSeq) L() int { return ss.s.l }
+
+// F returns f_i (see Seq.F).
+func (ss *SafeSeq) F(i int) int64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.F(i)
+}
+
+// InvF returns the smallest t >= 0 with f_t >= p — the optimal postal
+// broadcast time B(p) (see Seq.InvF).
+func (ss *SafeSeq) InvF(p int64) int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.InvF(p)
+}
+
+// KStar returns the endgame item count k* (see Seq.KStar).
+func (ss *SafeSeq) KStar(p int) int64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.KStar(p)
+}
+
+// KItemLowerBound returns the Theorem 3.1 lower bound (see
+// Seq.KItemLowerBound).
+func (ss *SafeSeq) KItemLowerBound(p int, k int64) int64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.KItemLowerBound(p, k)
+}
+
+// SingleSendingLowerBound returns the Section 3.4 single-sending bound (see
+// Seq.SingleSendingLowerBound).
+func (ss *SafeSeq) SingleSendingLowerBound(p int, k int64) int64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.SingleSendingLowerBound(p, k)
+}
+
+var (
+	seqMu    sync.Mutex
+	seqCache = map[int]*SafeSeq{}
+)
+
+// SeqFor returns the process-wide shared sequence for postal latency l.
+// All callers for the same l share one memoized f-table under a lock, so
+// sweeps stop recomputing the prefix of the sequence at every grid point.
+// It panics if l < 1 (as NewSeq does).
+func SeqFor(l int) *SafeSeq {
+	seqMu.Lock()
+	defer seqMu.Unlock()
+	ss := seqCache[l]
+	if ss == nil {
+		ss = &SafeSeq{s: NewSeq(l)}
+		seqCache[l] = ss
+	}
+	return ss
+}

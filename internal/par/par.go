@@ -1,0 +1,171 @@
+// Package par is the repository's shared concurrency layer: a bounded
+// worker pool with deterministic result merging (ForEach, Map) and a
+// first-success portfolio race with cancellation (Portfolio).
+//
+// Every construct here is deterministic by design: Map merges results in
+// input order regardless of completion order, and Portfolio always reports
+// the lowest-index hit, so callers produce byte-identical output whatever
+// the parallelism limit or goroutine scheduling. That property is what lets
+// the solver and the experiment harness fan out without perturbing golden
+// files.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limit is the process-wide default parallelism for pools started without an
+// explicit width. It defaults to GOMAXPROCS and is settable (cmd/logpbench
+// exposes it as -parallel).
+var limit atomic.Int64
+
+func init() { limit.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Limit returns the current default parallelism (always >= 1).
+func Limit() int { return int(limit.Load()) }
+
+// SetLimit sets the default parallelism. Values < 1 are clamped to 1.
+func SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	limit.Store(int64(n))
+}
+
+// workers returns the pool width for n tasks: min(Limit, n), at least 1.
+func workers(n int) int {
+	w := Limit()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(0..n-1) on up to Limit() workers and returns when all
+// calls have finished. Tasks are claimed in index order, so with Limit() == 1
+// execution is exactly the sequential loop.
+func ForEach(n int, fn func(i int)) {
+	w := workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in on up to Limit() workers and returns
+// the results in input order.
+func Map[T, R any](in []T, fn func(T) R) []R {
+	out := make([]R, len(in))
+	ForEach(len(in), func(i int) { out[i] = fn(in[i]) })
+	return out
+}
+
+// Outcome is the result of one portfolio attempt.
+type Outcome int
+
+// Portfolio attempt outcomes.
+const (
+	// Miss: the attempt failed retryably (e.g. search budget exhausted);
+	// higher-index attempts may still win.
+	Miss Outcome = iota
+	// Hit: the attempt succeeded. The lowest-index hit wins the portfolio.
+	Hit
+	// Abort: the attempt failed definitively (e.g. exhaustive search proved
+	// no solution exists). All other attempts are cancelled.
+	Abort
+)
+
+// Stop is the cancellation token handed to each portfolio attempt. Attempts
+// should poll Stopped at a coarse granularity (every few thousand search
+// nodes) and return early when it reports true; the returned outcome of a
+// stopped attempt is ignored.
+type Stop struct {
+	ceiling *atomic.Int64
+	index   int
+}
+
+// Stopped reports whether the attempt has been cancelled: a lower-index
+// attempt already hit (making this attempt's result irrelevant) or some
+// attempt proved the whole portfolio futile. A nil Stop never stops.
+func (s *Stop) Stopped() bool {
+	return s != nil && s.ceiling.Load() <= int64(s.index)
+}
+
+// Portfolio races attempts 0..n-1 on up to Limit() workers and returns the
+// winning index:
+//
+//   - If any attempt returns Abort, Portfolio returns (abortIndex, true):
+//     the portfolio is futile and every other attempt is cancelled.
+//   - Otherwise the winner is the LOWEST index that returned Hit; attempts
+//     above a hit are cancelled (their results cannot win), attempts below
+//     it always run to completion, so the winner is identical to what the
+//     sequential loop "try 0, then 1, ..." would return.
+//   - If nothing hit, Portfolio returns (-1, false).
+//
+// Attempts are claimed in index order; with Limit() == 1 the race degenerates
+// to exactly the sequential loop (cancellation included).
+func Portfolio(n int, attempt func(i int, stop *Stop) Outcome) (winner int, aborted bool) {
+	// ceiling is an exclusive cancellation bound: attempts with index >=
+	// ceiling are stopped. A hit at i lowers it to i+1; an abort to 0.
+	var ceiling atomic.Int64
+	ceiling.Store(int64(n))
+	var mu sync.Mutex
+	outcomes := make([]Outcome, n)
+	run := func(i int) {
+		st := &Stop{ceiling: &ceiling, index: i}
+		if st.Stopped() {
+			return // outcome stays Miss; a stopped attempt cannot win
+		}
+		o := attempt(i, st)
+		if st.Stopped() {
+			return // result arrived after cancellation; discard
+		}
+		mu.Lock()
+		outcomes[i] = o
+		mu.Unlock()
+		switch o {
+		case Hit:
+			for {
+				cur := ceiling.Load()
+				if cur <= int64(i)+1 || ceiling.CompareAndSwap(cur, int64(i)+1) {
+					break
+				}
+			}
+		case Abort:
+			ceiling.Store(0)
+		}
+	}
+	ForEach(n, run)
+	for i := 0; i < n; i++ {
+		switch outcomes[i] {
+		case Abort:
+			return i, true
+		case Hit:
+			return i, false
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,159 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func withLimit(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := Limit()
+	SetLimit(n)
+	defer SetLimit(old)
+	f()
+}
+
+func TestSetLimitClamps(t *testing.T) {
+	old := Limit()
+	defer SetLimit(old)
+	SetLimit(-3)
+	if Limit() != 1 {
+		t.Fatalf("SetLimit(-3): Limit() = %d, want 1", Limit())
+	}
+	SetLimit(7)
+	if Limit() != 7 {
+		t.Fatalf("SetLimit(7): Limit() = %d, want 7", Limit())
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, lim := range []int{1, 2, 4, 16} {
+		withLimit(t, lim, func() {
+			const n = 1000
+			hits := make([]atomic.Int64, n)
+			ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("limit %d: index %d ran %d times", lim, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	for _, lim := range []int{1, 3, 8} {
+		withLimit(t, lim, func() {
+			out := Map(in, func(x int) int {
+				if x%7 == 0 {
+					runtime.Gosched() // shuffle completion order
+				}
+				return x * x
+			})
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("limit %d: out[%d] = %d, want %d", lim, i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestPortfolioLowestHitWins(t *testing.T) {
+	// Attempts 2, 5, 9 hit; the winner must always be 2 even when higher
+	// indices finish first.
+	hitters := map[int]bool{2: true, 5: true, 9: true}
+	for _, lim := range []int{1, 2, 4, 16} {
+		withLimit(t, lim, func() {
+			for trial := 0; trial < 50; trial++ {
+				winner, aborted := Portfolio(12, func(i int, stop *Stop) Outcome {
+					if i > 6 {
+						// Let high indices race ahead.
+						if hitters[i] {
+							return Hit
+						}
+						return Miss
+					}
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+					if hitters[i] {
+						return Hit
+					}
+					return Miss
+				})
+				if aborted || winner != 2 {
+					t.Fatalf("limit %d trial %d: winner=%d aborted=%v, want 2/false", lim, trial, winner, aborted)
+				}
+			}
+		})
+	}
+}
+
+func TestPortfolioAllMiss(t *testing.T) {
+	winner, aborted := Portfolio(8, func(i int, stop *Stop) Outcome { return Miss })
+	if winner != -1 || aborted {
+		t.Fatalf("all-miss portfolio: winner=%d aborted=%v, want -1/false", winner, aborted)
+	}
+}
+
+func TestPortfolioAbortCancelsAll(t *testing.T) {
+	withLimit(t, 4, func() {
+		var started atomic.Int64
+		winner, aborted := Portfolio(64, func(i int, stop *Stop) Outcome {
+			started.Add(1)
+			if i == 0 {
+				return Abort
+			}
+			// Busy-wait until cancelled, as a real search poll would.
+			for !stop.Stopped() {
+				runtime.Gosched()
+			}
+			return Miss
+		})
+		if !aborted || winner != 0 {
+			t.Fatalf("abort portfolio: winner=%d aborted=%v, want 0/true", winner, aborted)
+		}
+		// The abort must prevent most of the 64 attempts from starting.
+		if n := started.Load(); n > 32 {
+			t.Fatalf("abort cancelled late: %d of 64 attempts started", n)
+		}
+	})
+}
+
+func TestPortfolioHitCancelsOnlyHigherIndices(t *testing.T) {
+	withLimit(t, 2, func() {
+		var ranBelow atomic.Int64
+		winner, aborted := Portfolio(8, func(i int, stop *Stop) Outcome {
+			switch {
+			case i == 3:
+				return Hit
+			case i < 3:
+				// Attempts below the hit must run to completion so the
+				// lowest-index winner is decided exactly.
+				time.Sleep(time.Millisecond)
+				ranBelow.Add(1)
+				return Miss
+			default:
+				return Miss
+			}
+		})
+		if aborted || winner != 3 {
+			t.Fatalf("winner=%d aborted=%v, want 3/false", winner, aborted)
+		}
+		if n := ranBelow.Load(); n != 3 {
+			t.Fatalf("attempts below the hit: %d completed, want 3", n)
+		}
+	})
+}
+
+func TestNilStopNeverStops(t *testing.T) {
+	var s *Stop
+	if s.Stopped() {
+		t.Fatal("nil *Stop reported Stopped() = true")
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/kitem"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// TestResetReplayEquivalence replays a batch of schedules twice — fresh
+// engines via Run, and one recycled engine via Reset + Replay — and requires
+// identical reports and executed schedules, in both reception modes.
+func TestResetReplayEquivalence(t *testing.T) {
+	type job struct {
+		name    string
+		mode    Mode
+		build   func() (*scheduleWithOrigins, error)
+		nonzero bool
+	}
+	broadcast := func(m logp.Machine) func() (*scheduleWithOrigins, error) {
+		return func() (*scheduleWithOrigins, error) {
+			return &scheduleWithOrigins{core.BroadcastSchedule(m, 0), core.Origins(0)}, nil
+		}
+	}
+	greedy := func(l logp.Time, p, k int, mode kitem.Mode) func() (*scheduleWithOrigins, error) {
+		return func() (*scheduleWithOrigins, error) {
+			res, err := kitem.Greedy(l, p, k, mode)
+			if err != nil {
+				return nil, err
+			}
+			return &scheduleWithOrigins{res.Schedule, kitem.Origins(k)}, nil
+		}
+	}
+	jobs := []job{
+		{"broadcast-logp", Strict, broadcast(logp.MustNew(8, 6, 2, 4)), true},
+		{"broadcast-postal", Strict, broadcast(logp.Postal(41, 3)), true},
+		{"kitem-strict", Strict, greedy(3, 10, 6, kitem.Strict), true},
+		{"kitem-buffered", Buffered, greedy(3, 10, 6, kitem.Buffered), true},
+	}
+	var recycled *Engine
+	for _, j := range jobs {
+		sw, err := j.build()
+		if err != nil {
+			t.Fatalf("%s: %v", j.name, err)
+		}
+		eFresh, repFresh := Run(sw.s, j.mode, sw.origins)
+		if recycled == nil {
+			recycled = New(sw.s.M, j.mode)
+		} else {
+			recycled.Reset(sw.s.M, j.mode)
+		}
+		repRe := recycled.Replay(sw.s, sw.origins)
+		if repFresh.Finish != repRe.Finish || repFresh.MaxBuffer != repRe.MaxBuffer ||
+			len(repFresh.Violations) != len(repRe.Violations) {
+			t.Errorf("%s: fresh report %+v, recycled report %+v", j.name, repFresh, repRe)
+		}
+		if j.nonzero && repFresh.Finish == 0 {
+			t.Errorf("%s: finish 0, schedule did nothing", j.name)
+		}
+		exFresh, exRe := eFresh.Executed(), recycled.Executed()
+		if !reflect.DeepEqual(exFresh.Events, exRe.Events) {
+			t.Errorf("%s: executed schedules differ (fresh %d events, recycled %d events)",
+				j.name, len(exFresh.Events), len(exRe.Events))
+		}
+	}
+}
+
+type scheduleWithOrigins struct {
+	s       *schedule.Schedule
+	origins map[int]schedule.Origin
+}
+
+// BenchmarkSimReplayFresh replays an optimal broadcast schedule on a fresh
+// engine every iteration (the old Run path).
+func BenchmarkSimReplayFresh(b *testing.B) {
+	m := logp.MustNew(32, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	og := core.Origins(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep := Run(s, Strict, og)
+		if len(rep.Violations) != 0 {
+			b.Fatal(rep.Violations)
+		}
+	}
+}
+
+// BenchmarkSimReplayReuse replays the same schedule on one recycled engine
+// (Reset + Replay), the allocation-free steady state.
+func BenchmarkSimReplayReuse(b *testing.B) {
+	m := logp.MustNew(32, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	og := core.Origins(0)
+	e := New(m, Strict)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(m, Strict)
+		rep := e.Replay(s, og)
+		if len(rep.Violations) != 0 {
+			b.Fatal(rep.Violations)
+		}
+	}
+}

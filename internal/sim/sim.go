@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -52,13 +51,13 @@ type procState struct {
 	maxBuffer     int
 }
 
-// flightHeap orders in-flight messages by arrival time, then deterministic
-// tie-break.
+// flightHeap is a binary min-heap of in-flight messages ordered by arrival
+// time, then deterministic tie-break. It is hand-rolled rather than built on
+// container/heap so pushes do not box every Msg into an interface value —
+// Send is on the per-message hot path of every replay.
 type flightHeap []Msg
 
-func (h flightHeap) Len() int { return len(h) }
-func (h flightHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+func flightBefore(a, b Msg) bool {
 	if a.Arrive != b.Arrive {
 		return a.Arrive < b.Arrive
 	}
@@ -70,13 +69,50 @@ func (h flightHeap) Less(i, j int) bool {
 	}
 	return a.From < b.From
 }
-func (h flightHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *flightHeap) Push(x any)   { *h = append(*h, x.(Msg)) }
-func (h *flightHeap) Pop() any     { o := *h; n := len(o); x := o[n-1]; *h = o[:n-1]; return x }
+
+func (h *flightHeap) push(m Msg) {
+	*h = append(*h, m)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !flightBefore(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *flightHeap) pop() Msg {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && flightBefore(s[l], s[min]) {
+			min = l
+		}
+		if r < n && flightBefore(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
 
 // Engine is a running LogP machine. Create one with New, inject origin items,
 // then either replay a schedule with Run or drive it interactively:
-// repeatedly TickTo / Send.
+// repeatedly TickTo / Send. A finished engine can be recycled for another
+// run with Reset, which reuses every internal allocation (flight heap,
+// per-processor maps and buffers, executed-event storage).
 type Engine struct {
 	M         logp.Machine
 	Mode      Mode
@@ -87,23 +123,47 @@ type Engine struct {
 	inflight   flightHeap
 	executed   schedule.Schedule
 	violations []schedule.Violation
+	sendBuf    []schedule.Event // Replay scratch, reused across runs
 }
 
 const minusInf = logp.Time(-1) << 40
 
 // New returns an engine at time 0 with no items anywhere.
 func New(m logp.Machine, mode Mode) *Engine {
-	e := &Engine{M: m, Mode: mode, executed: schedule.Schedule{M: m}}
-	e.procs = make([]procState, m.P)
-	for i := range e.procs {
-		e.procs[i] = procState{
-			lastSendStart: minusInf,
-			lastRecvStart: minusInf,
-			busyUntil:     minusInf,
-			avail:         make(map[int]logp.Time),
-		}
-	}
+	e := &Engine{}
+	e.Reset(m, mode)
 	return e
+}
+
+// Reset reinitializes the engine for machine m in the given mode, reusing
+// the allocations of any previous run: the per-processor states (including
+// their item maps and buffers), the in-flight heap, and the executed-event
+// slice all keep their capacity. BufferCap is preserved.
+func (e *Engine) Reset(m logp.Machine, mode Mode) {
+	e.M, e.Mode = m, mode
+	e.now = 0
+	e.executed.M = m
+	e.executed.Events = e.executed.Events[:0]
+	e.inflight = e.inflight[:0]
+	e.violations = e.violations[:0]
+	if cap(e.procs) < m.P {
+		e.procs = make([]procState, m.P)
+	} else {
+		e.procs = e.procs[:m.P]
+	}
+	for i := range e.procs {
+		ps := &e.procs[i]
+		ps.lastSendStart = minusInf
+		ps.lastRecvStart = minusInf
+		ps.busyUntil = minusInf
+		if ps.avail == nil {
+			ps.avail = make(map[int]logp.Time)
+		} else {
+			clear(ps.avail)
+		}
+		ps.buffer = ps.buffer[:0]
+		ps.maxBuffer = 0
+	}
 }
 
 // Now returns the current simulation time.
@@ -166,7 +226,7 @@ func (e *Engine) Send(from, item, to int) error {
 		ps.busyUntil = end
 	}
 	msg := Msg{From: from, To: to, Item: item, SendAt: e.now, Arrive: e.now + e.M.O + e.M.L}
-	heap.Push(&e.inflight, msg)
+	e.inflight.push(msg)
 	e.executed.Send(from, e.now, item, to)
 	return nil
 }
@@ -188,7 +248,7 @@ func (e *Engine) Tick() { e.TickTo(e.now + 1) }
 // receive port is free.
 func (e *Engine) processArrivals() {
 	for len(e.inflight) > 0 && e.inflight[0].Arrive <= e.now {
-		msg := heap.Pop(&e.inflight).(Msg)
+		msg := e.inflight.pop()
 		ps := &e.procs[msg.To]
 		switch e.Mode {
 		case Strict:
@@ -337,12 +397,24 @@ type Report struct {
 // the input schedule are ignored — the engine derives receptions from the
 // machine's rules — so comparing the executed schedule against the input's
 // recv events is a way to check a scheduler's own arrival bookkeeping.
+//
+// Callers replaying many schedules should allocate one Engine and use
+// Reset + Replay, which reuses every internal allocation.
 func Run(s *schedule.Schedule, mode Mode, origins map[int]schedule.Origin) (*Engine, Report) {
 	e := New(s.M, mode)
+	return e, e.Replay(s, origins)
+}
+
+// Replay replays the send events of s on the engine, which must have been
+// freshly created (New) or recycled (Reset) for s.M. See Run for semantics.
+// Sends are ordered by a full deterministic key — time, then sender, then
+// item, then destination — so the replay never depends on the input event
+// ordering.
+func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) Report {
 	for item, og := range origins {
 		e.Inject(og.Proc, item, og.Time)
 	}
-	sends := make([]schedule.Event, 0, len(s.Events))
+	sends := e.sendBuf[:0]
 	var horizon logp.Time
 	for _, ev := range s.Events {
 		if ev.Op == schedule.OpSend {
@@ -352,7 +424,20 @@ func Run(s *schedule.Schedule, mode Mode, origins map[int]schedule.Origin) (*Eng
 			}
 		}
 	}
-	sort.SliceStable(sends, func(i, j int) bool { return sends[i].Time < sends[j].Time })
+	sort.Slice(sends, func(i, j int) bool {
+		a, b := sends[i], sends[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Item != b.Item {
+			return a.Item < b.Item
+		}
+		return a.Peer < b.Peer
+	})
+	e.sendBuf = sends
 	horizon += s.M.O + s.M.L + 1
 	i := 0
 	for {
@@ -371,10 +456,24 @@ func Run(s *schedule.Schedule, mode Mode, origins map[int]schedule.Origin) (*Eng
 		if e.Now() > horizon+logp.Time(s.M.P)*s.M.G*4 {
 			break // safety net against livelock in buffered mode
 		}
+		if e.Mode == Strict {
+			// Strict-mode receptions are timestamped with the message's own
+			// arrival time, never the engine clock, so idle stretches can be
+			// skipped: jump straight to the next send or arrival instant.
+			next := horizon + logp.Time(s.M.P)*s.M.G*4 + 1
+			if i < len(sends) {
+				next = sends[i].Time
+			}
+			if len(e.inflight) > 0 && e.inflight[0].Arrive < next {
+				next = e.inflight[0].Arrive
+			}
+			if next > e.now+1 {
+				e.now = next - 1 // Tick advances the final step
+			}
+		}
 		e.Tick()
 	}
-	rep := Report{Finish: e.finishTime(), MaxBuffer: e.MaxBuffer(), Violations: e.violations}
-	return e, rep
+	return Report{Finish: e.finishTime(), MaxBuffer: e.MaxBuffer(), Violations: e.violations}
 }
 
 func (e *Engine) finishTime() logp.Time {
