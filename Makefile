@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json fuzz vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json fuzz conform vet fmt examples reproduce clean
 
 all: build test
 
@@ -28,10 +28,17 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_1.json
 	@cat BENCH_1.json
 
-# Short fuzzing pass over the schedule validator.
+# Short fuzzing pass over the schedule validator and the conformance harness.
 fuzz:
 	$(GO) test -fuzz=FuzzValidate -fuzztime=30s ./internal/schedule/
 	$(GO) test -fuzz=FuzzValidatorConsistency -fuzztime=30s ./internal/schedule/
+	$(GO) test -fuzz=FuzzConform -fuzztime=30s ./internal/conform/
+
+# Differential conformance: replay paper constructors and 500 random seeds on
+# the simulator (strict/buffered), the goroutine runtime (strict/buffered),
+# and the validator, and diff the results.
+conform:
+	$(GO) run ./cmd/logpconform -seeds 500
 
 vet:
 	$(GO) vet ./...

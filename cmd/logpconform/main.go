@@ -1,0 +1,73 @@
+// Command logpconform runs the differential conformance harness: every case
+// — the paper's schedule constructors plus seeded random schedules — is
+// replayed on the strict and buffered simulator, the strict and buffered
+// goroutine runtime, and the analytic validator, and the results are diffed
+// under the backend-equivalence contract. Diverging cases are shrunk to a
+// minimal reproduction and printed.
+//
+// Usage:
+//
+//	logpconform [-seeds N] [-start S] [-paper=false] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logpopt/internal/conform"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 500, "number of random seeds to check")
+	start := flag.Int64("start", 0, "first random seed")
+	paper := flag.Bool("paper", true, "also check every paper schedule constructor")
+	verbose := flag.Bool("v", false, "print every case as it is checked")
+	flag.Parse()
+
+	ck := conform.NewChecker()
+	checked, diverged := 0, 0
+
+	runCase := func(c conform.Case) {
+		checked++
+		diffs := ck.Check(c)
+		if *verbose {
+			status := "ok"
+			if len(diffs) > 0 {
+				status = "DIVERGED"
+			}
+			fmt.Printf("%-32s %d events  %s\n", c.Name, len(c.S.Events), status)
+		}
+		if len(diffs) == 0 {
+			return
+		}
+		diverged++
+		fmt.Printf("DIVERGENCE in %s (%d events on %v):\n", c.Name, len(c.S.Events), c.S.M)
+		for _, d := range diffs {
+			fmt.Printf("  %s\n", d)
+		}
+		min := conform.Shrink(c, ck.Diverges)
+		fmt.Printf("  shrunk to %d events on %v:\n", len(min.S.Events), min.S.M)
+		for _, ev := range min.S.Events {
+			fmt.Printf("    %+v\n", ev)
+		}
+		for _, d := range ck.Check(min) {
+			fmt.Printf("  shrunk divergence: %s\n", d)
+		}
+	}
+
+	if *paper {
+		for _, c := range conform.PaperCases() {
+			runCase(c)
+		}
+	}
+	for seed := *start; seed < *start+int64(*seeds); seed++ {
+		runCase(conform.Generate(seed))
+	}
+
+	if diverged > 0 {
+		fmt.Printf("%d of %d cases diverged\n", diverged, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("%d cases conform across all backends\n", checked)
+}

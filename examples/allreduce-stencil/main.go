@@ -93,8 +93,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := rt.Run(phase * sweeps); err != nil {
-		log.Fatal(err)
+	rt.Run(phase * sweeps)
+	if vs := rt.Violations(); len(vs) != 0 {
+		log.Fatalf("runtime violations: %v", vs)
 	}
 
 	// Every processor must hold the identical global residual per sweep.

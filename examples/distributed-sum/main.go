@@ -84,8 +84,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := rt.Run(deadline + int64(m.L) + 2*int64(m.O) + 2); err != nil {
-		log.Fatal(err)
+	rt.Run(deadline + int64(m.L) + 2*int64(m.O) + 2)
+	if vs := rt.Violations(); len(vs) != 0 {
+		log.Fatalf("runtime violations: %v", vs)
 	}
 	got := rt.Proc(0).State.(*state).acc
 	status := "ok"

@@ -41,8 +41,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := rt.Run(logpopt.RuntimeHorizon(sched)); err != nil {
-		log.Fatal(err)
+	rt.Run(logpopt.RuntimeHorizon(sched))
+	if vs := rt.Violations(); len(vs) != 0 {
+		log.Fatalf("runtime violations: %v", vs)
 	}
 
 	// Measure the actual delay of every item from the runtime's trace.

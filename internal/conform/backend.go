@@ -1,0 +1,184 @@
+// Package conform is a differential conformance harness for the three
+// independent implementations of the LogP machine in this repository: the
+// discrete-event simulator (internal/sim, Strict and Buffered), the
+// goroutine runtime (internal/runtime), and the schedule validator
+// (internal/schedule, as an analytic backend). Each is wrapped as a Backend
+// that replays a schedule from item origins and reports the executed events,
+// the finish time, the recorded violations, and the buffer high-water mark;
+// the Checker replays every case on all backends and diffs the results under
+// the backend-equivalence contract (see Check).
+package conform
+
+import (
+	"fmt"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/runtime"
+	"logpopt/internal/schedule"
+	"logpopt/internal/sim"
+)
+
+// Case is one conformance input: a schedule plus the origin map saying where
+// each item starts.
+type Case struct {
+	Name    string
+	S       *schedule.Schedule
+	Origins map[int]schedule.Origin
+}
+
+// Result is what one backend reports for one case.
+type Result struct {
+	Backend    string
+	Violations []schedule.Violation
+	Trace      *schedule.Schedule // executed (or derived) sends and recvs
+	Finish     logp.Time          // time the last availability lands
+	MaxBuffer  int                // buffer/queue high-water mark (buffered backends)
+}
+
+// Clean reports whether the backend saw no violations.
+func (r Result) Clean() bool { return len(r.Violations) == 0 }
+
+// Backend replays conformance cases on one machine implementation.
+type Backend interface {
+	Name() string
+	Replay(c Case) Result
+}
+
+// SimBackend replays cases on the discrete-event simulator, recycling one
+// engine across cases (Reset + Replay reuses every internal allocation).
+type SimBackend struct {
+	Mode sim.Mode
+	eng  *sim.Engine
+}
+
+func (b *SimBackend) Name() string {
+	if b.Mode == sim.Buffered {
+		return "sim-buffered"
+	}
+	return "sim-strict"
+}
+
+func (b *SimBackend) Replay(c Case) Result {
+	if b.eng == nil {
+		b.eng = sim.New(c.S.M, b.Mode)
+	} else {
+		b.eng.Reset(c.S.M, b.Mode)
+	}
+	rep := b.eng.Replay(c.S, c.Origins)
+	return Result{
+		Backend:    b.Name(),
+		Violations: rep.Violations,
+		Trace:      b.eng.Executed(),
+		Finish:     rep.Finish,
+		MaxBuffer:  rep.MaxBuffer,
+	}
+}
+
+// RuntimeBackend replays cases on the goroutine runtime via ReplayHandlers.
+type RuntimeBackend struct {
+	Mode runtime.Mode
+}
+
+func (b RuntimeBackend) Name() string {
+	if b.Mode == runtime.Buffered {
+		return "runtime-buffered"
+	}
+	return "runtime-strict"
+}
+
+func (b RuntimeBackend) Replay(c Case) Result {
+	res := Result{Backend: b.Name()}
+	// The handler table is indexed by sender, so sends from an out-of-range
+	// processor cannot be replayed at all; record them up front the way the
+	// other backends do.
+	for _, ev := range c.S.Events {
+		if ev.Op == schedule.OpSend && (ev.Proc < 0 || ev.Proc >= c.S.M.P) {
+			res.Violations = append(res.Violations, schedule.Violation{
+				Kind: schedule.VBadProc,
+				Msg:  fmt.Sprintf("runtime: send from out-of-range proc %d", ev.Proc),
+			})
+		}
+	}
+	rt, err := runtime.New(c.S.M, b.Mode, runtime.ReplayHandlers(c.S, c.Origins))
+	if err != nil {
+		res.Violations = append(res.Violations, schedule.Violation{
+			Kind: "setup", Msg: err.Error(),
+		})
+		res.Trace = &schedule.Schedule{M: c.S.M}
+		return res
+	}
+	rt.Run(runtime.Horizon(c.S))
+	limit := runtime.DrainHorizon(c.S)
+	for rt.Pending() && rt.Now() < limit {
+		rt.Step()
+	}
+	res.Violations = append(res.Violations, rt.Violations()...)
+	res.Trace = rt.Trace()
+	res.Finish = finishOf(res.Trace, c.Origins)
+	res.MaxBuffer = rt.MaxQueue()
+	return res
+}
+
+// ValidatorBackend checks cases analytically with the schedule validator: it
+// derives the strict-mode receptions (send time + o + L for every send with
+// a reachable destination) and runs Validate plus CheckAvailability over the
+// result. It executes nothing, so it belongs to the strict group only.
+type ValidatorBackend struct{}
+
+func (ValidatorBackend) Name() string { return "validator" }
+
+func (ValidatorBackend) Replay(c Case) Result {
+	m := c.S.M
+	d := &schedule.Schedule{M: m}
+	for _, ev := range c.S.Events {
+		if ev.Op != schedule.OpSend {
+			continue
+		}
+		d.Send(ev.Proc, ev.Time, ev.Item, ev.Peer)
+		if ev.Peer >= 0 && ev.Peer < m.P && ev.Peer != ev.Proc {
+			d.Recv(ev.Peer, ev.Time+m.O+m.L, ev.Item, ev.Proc)
+		}
+	}
+	vs := schedule.Validate(d)
+	vs = append(vs, schedule.CheckAvailability(d, c.Origins)...)
+	d.Sort()
+	return Result{
+		Backend:    "validator",
+		Violations: vs,
+		Trace:      d,
+		Finish:     finishOf(d, c.Origins),
+	}
+}
+
+// finishOf recomputes a run's finish time from its executed trace: each
+// (proc, item) availability is the earliest of its origin time there and
+// reception time + o over the trace's recv events; the finish is the latest
+// availability. This is the same quantity the simulator reports as
+// Report.Finish, derived independently so the two can be cross-checked.
+func finishOf(tr *schedule.Schedule, origins map[int]schedule.Origin) logp.Time {
+	type key struct{ proc, item int }
+	avail := make(map[key]logp.Time)
+	for item, og := range origins {
+		k := key{og.Proc, item}
+		if t, ok := avail[k]; !ok || og.Time < t {
+			avail[k] = og.Time
+		}
+	}
+	for _, ev := range tr.Events {
+		if ev.Op != schedule.OpRecv {
+			continue
+		}
+		k := key{ev.Proc, ev.Item}
+		at := ev.Time + tr.M.O
+		if t, ok := avail[k]; !ok || at < t {
+			avail[k] = at
+		}
+	}
+	var mx logp.Time
+	for _, t := range avail {
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx
+}

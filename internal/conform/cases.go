@@ -1,0 +1,110 @@
+package conform
+
+import (
+	"fmt"
+
+	"logpopt/internal/alltoall"
+	"logpopt/internal/combine"
+	"logpopt/internal/continuous"
+	"logpopt/internal/core"
+	"logpopt/internal/kitem"
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+	"logpopt/internal/summation"
+)
+
+// PaperCases adapts every schedule constructor in the repository — optimal
+// broadcast, k-item broadcast (grid, general, greedy strict and buffered,
+// staggered), continuous broadcast, all-to-all with scatter/gather, combine
+// (reduce and scan), and summation — into conformance cases. Constructors
+// that cannot build an instance for the chosen parameters are skipped; the
+// adapters never fail, so the list is safe to iterate in tests, the fuzz
+// target, and the CLI.
+func PaperCases() []Case {
+	var cs []Case
+	add := func(name string, s *schedule.Schedule, og map[int]schedule.Origin) {
+		cs = append(cs, Case{Name: name, S: s, Origins: og})
+	}
+
+	for _, m := range []logp.Machine{
+		logp.MustNew(8, 6, 2, 4),
+		logp.Postal(16, 3),
+		logp.MustNew(12, 7, 1, 3),
+	} {
+		add("broadcast/"+m.String(), core.BroadcastSchedule(m, 0), core.Origins(0))
+	}
+
+	if _, s, err := kitem.ViaContinuous(3, 8, 10); err == nil {
+		add("kitem-grid/l3-t8-k10", s, kitem.Origins(10))
+	}
+	if _, s, err := kitem.OptimalGeneral(3, 12, 6); err == nil {
+		add("kitem-general/l3-p12-k6", s, kitem.Origins(6))
+	}
+	for _, mode := range []kitem.Mode{kitem.Strict, kitem.Buffered} {
+		if r, err := kitem.Greedy(4, 9, 5, mode); err == nil {
+			add(fmt.Sprintf("kitem-greedy/mode%d", mode), r.Schedule, kitem.Origins(5))
+		}
+	}
+	if r, err := kitem.Staggered(4, 10, 6); err == nil {
+		add("kitem-staggered/l4-p10-k6", r.Schedule, kitem.Origins(6))
+	}
+
+	if _, s, err := continuous.SolveAndSchedule(4, 10, 7); err == nil {
+		add("continuous/l4-t10-k7", s, continuous.Origins(7))
+	}
+
+	for _, p := range []int{5, 9} {
+		m := logp.Postal(p, 3)
+		add(fmt.Sprintf("alltoall/p%d", p), alltoall.Schedule(m, 2), alltoall.Origins(m, 2))
+	}
+	{
+		m := logp.MustNew(9, 6, 2, 4)
+		og := make(map[int]schedule.Origin)
+		for j := 1; j < m.P; j++ {
+			og[j] = schedule.Origin{Proc: 0}
+		}
+		add("scatter", alltoall.Scatter(m), og)
+		og2 := make(map[int]schedule.Origin)
+		for j := 1; j < m.P; j++ {
+			og2[j] = schedule.Origin{Proc: j}
+		}
+		add("gather", alltoall.Gather(m), og2)
+	}
+
+	{
+		m := logp.Postal(13, 3)
+		red := combine.ReduceSchedule(m, m.P)
+		add("reduce/p13", red, DerivedOrigins(red))
+		scan := combine.ScanSchedule(m, m.P)
+		add("scan/p13", scan, DerivedOrigins(scan))
+	}
+
+	{
+		m := logp.MustNew(32, 4, 1, 2)
+		if pl, err := summation.Build(m, 24); err == nil {
+			s := pl.Schedule()
+			add("summation/t24", s, DerivedOrigins(s))
+		}
+	}
+
+	return cs
+}
+
+// DerivedOrigins injects every item at its earliest sender, at time zero.
+// Value-carrying schedules (reduce, scan, summation) move computed values
+// whose item ids have no external origin map; for replay purposes an item
+// simply needs to exist wherever it is first transmitted from.
+func DerivedOrigins(s *schedule.Schedule) map[int]schedule.Origin {
+	og := make(map[int]schedule.Origin)
+	first := make(map[int]logp.Time)
+	for _, ev := range s.Events {
+		if ev.Op != schedule.OpSend {
+			continue
+		}
+		if t, ok := first[ev.Item]; !ok || ev.Time < t {
+			first[ev.Item] = ev.Time
+			og[ev.Item] = schedule.Origin{Proc: ev.Proc}
+		}
+	}
+	return og
+}

@@ -1,0 +1,176 @@
+package conform
+
+import (
+	"fmt"
+	"sort"
+
+	"logpopt/internal/runtime"
+	"logpopt/internal/schedule"
+	"logpopt/internal/sim"
+)
+
+// Checker replays cases on all five backends and diffs the results. One
+// Checker is cheap to keep around: the simulator engines are recycled across
+// cases.
+type Checker struct {
+	simStrict *SimBackend
+	simBuf    *SimBackend
+	rtStrict  RuntimeBackend
+	rtBuf     RuntimeBackend
+	validator ValidatorBackend
+}
+
+func NewChecker() *Checker {
+	return &Checker{
+		simStrict: &SimBackend{Mode: sim.Strict},
+		simBuf:    &SimBackend{Mode: sim.Buffered},
+		rtStrict:  RuntimeBackend{Mode: runtime.Strict},
+		rtBuf:     RuntimeBackend{Mode: runtime.Buffered},
+	}
+}
+
+// Check replays the case on every backend and returns a description of each
+// divergence from the backend-equivalence contract (empty means conformant):
+//
+//   - Clean flag: within the strict group (sim-strict, runtime-strict,
+//     validator) and within the buffered group (sim-buffered,
+//     runtime-buffered), the backends must agree on whether the case is
+//     violation-free. Violation *kinds and counts* may differ — the
+//     implementations discover problems in different orders — but "clean"
+//     is a statement about the machine model and must be unanimous.
+//   - Clean strict case: all three strict backends produce the identical
+//     trace and finish time.
+//   - Clean buffered case: both buffered backends produce the identical
+//     trace, finish time, and buffer high-water mark, and the executed
+//     trace passes ValidateDeferred + CheckAvailability.
+//   - Clean in both modes: the buffered trace equals the strict trace (an
+//     uncontended schedule must not behave differently under queueing).
+//   - Always: the simulator's reported Finish must equal the finish time
+//     recomputed independently from its own trace.
+func (ck *Checker) Check(c Case) []string {
+	simS := ck.simStrict.Replay(c)
+	rtS := ck.rtStrict.Replay(c)
+	val := ck.validator.Replay(c)
+	simB := ck.simBuf.Replay(c)
+	rtB := ck.rtBuf.Replay(c)
+
+	var diffs []string
+	add := func(format string, args ...any) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+
+	for _, grp := range [][]Result{{simS, rtS, val}, {simB, rtB}} {
+		ref := grp[0]
+		for _, r := range grp[1:] {
+			if ref.Clean() != r.Clean() {
+				add("%s clean=%v but %s clean=%v (kinds %v vs %v)",
+					ref.Backend, ref.Clean(), r.Backend, r.Clean(),
+					schedule.Kinds(ref.Violations), schedule.Kinds(r.Violations))
+			}
+		}
+	}
+	if len(diffs) > 0 {
+		// Trace and finish comparisons are only meaningful once the backends
+		// agree on legality.
+		return diffs
+	}
+
+	// The simulator and the runtime implement the same record-and-continue
+	// execution — a busy port still receives, an illegal send is dropped —
+	// so their executed traces must match even on dirty cases. (The
+	// validator is excluded here: it drops nothing, so its derived trace
+	// only matches on clean cases.)
+	if msg := traceDiff(simS.Trace, rtS.Trace); msg != "" {
+		add("strict execution trace: sim vs runtime: %s", msg)
+	}
+	if msg := traceDiff(simB.Trace, rtB.Trace); msg != "" {
+		add("buffered execution trace: sim vs runtime: %s", msg)
+	}
+
+	if simS.Clean() {
+		for _, r := range []Result{rtS, val} {
+			if msg := traceDiff(simS.Trace, r.Trace); msg != "" {
+				add("strict trace: %s vs %s: %s", simS.Backend, r.Backend, msg)
+			}
+			if simS.Finish != r.Finish {
+				add("strict finish: %s=%d, %s=%d", simS.Backend, simS.Finish, r.Backend, r.Finish)
+			}
+		}
+	}
+	if simB.Clean() {
+		if msg := traceDiff(simB.Trace, rtB.Trace); msg != "" {
+			add("buffered trace: %s vs %s: %s", simB.Backend, rtB.Backend, msg)
+		}
+		if simB.Finish != rtB.Finish {
+			add("buffered finish: sim=%d, runtime=%d", simB.Finish, rtB.Finish)
+		}
+		if simB.MaxBuffer != rtB.MaxBuffer {
+			add("buffer high-water: sim MaxBuffer=%d, runtime MaxQueue=%d", simB.MaxBuffer, rtB.MaxBuffer)
+		}
+		vs := schedule.ValidateDeferred(simB.Trace)
+		vs = append(vs, schedule.CheckAvailability(simB.Trace, c.Origins)...)
+		if len(vs) != 0 {
+			add("clean buffered trace fails deferred validation: %v", vs[0])
+		}
+	}
+	if simS.Clean() && simB.Clean() {
+		if msg := traceDiff(simS.Trace, simB.Trace); msg != "" {
+			add("strict vs buffered trace on a clean schedule: %s", msg)
+		}
+	}
+	for _, r := range []Result{simS, simB} {
+		if f := finishOf(r.Trace, c.Origins); f != r.Finish {
+			add("%s reports Finish=%d but its trace implies %d", r.Backend, r.Finish, f)
+		}
+	}
+	return diffs
+}
+
+// Diverges reports whether the case violates the contract. It is the
+// predicate the shrinker minimizes against.
+func (ck *Checker) Diverges(c Case) bool { return len(ck.Check(c)) > 0 }
+
+// traceDiff compares two executed schedules event-by-event under a full
+// deterministic order and describes the first difference ("" when equal).
+func traceDiff(a, b *schedule.Schedule) string {
+	ae, be := sortedEvents(a), sortedEvents(b)
+	n := len(ae)
+	if len(be) < n {
+		n = len(be)
+	}
+	for i := 0; i < n; i++ {
+		if ae[i] != be[i] {
+			return fmt.Sprintf("event %d: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+	if len(ae) != len(be) {
+		return fmt.Sprintf("%d events vs %d", len(ae), len(be))
+	}
+	return ""
+}
+
+// sortedEvents copies the events and sorts them by every field, so that
+// comparisons never depend on the producers' tie-breaking.
+func sortedEvents(s *schedule.Schedule) []schedule.Event {
+	evs := append([]schedule.Event(nil), s.Events...)
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Item != b.Item {
+			return a.Item < b.Item
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Dur < b.Dur
+	})
+	return evs
+}

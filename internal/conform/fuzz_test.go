@@ -1,0 +1,21 @@
+package conform
+
+import "testing"
+
+// FuzzConform feeds the seeded case generator from the fuzzer's input
+// stream: every backend pair must stay in agreement for every reachable
+// case. Run with `go test -fuzz=FuzzConform ./internal/conform/`.
+func FuzzConform(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	ck := NewChecker()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(seed)
+		if diffs := ck.Check(c); len(diffs) != 0 {
+			min := Shrink(c, ck.Diverges)
+			t.Fatalf("seed %d: %s\nshrunk to %d events on %v: %+v",
+				seed, diffs[0], len(min.S.Events), min.S.M, min.S.Events)
+		}
+	})
+}

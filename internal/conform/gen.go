@@ -1,0 +1,228 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// Generate deterministically derives a conformance case from a seed: a small
+// random machine, random item origins, and a schedule produced by a legality-
+// tracking random walker. Three flavors come out of the seed stream:
+//
+//   - plain: the walker respects every strict-mode rule, so the case is
+//     clean on all backends;
+//   - burst: receive-side rules at one drain processor are ignored, so
+//     arrivals collide — dirty in the strict group, clean (and queueing)
+//     in the buffered group;
+//   - mutated: a clean-ish schedule is then perturbed (time shifts possibly
+//     below zero, retargets to self/out-of-range/other, duplicate sends,
+//     item swaps), which every backend must flag in agreement.
+//
+// The same seed always yields the same case.
+func Generate(seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	m := randMachine(rng)
+	nItems := 1 + rng.Intn(3)
+	origins := make(map[int]schedule.Origin, nItems)
+	for it := 0; it < nItems; it++ {
+		origins[it] = schedule.Origin{Proc: rng.Intn(m.P)}
+	}
+	burst := rng.Float64() < 0.25
+	s := walk(rng, m, origins, burst)
+	name := fmt.Sprintf("gen-%d", seed)
+	if burst {
+		name += "-burst"
+	}
+	if rng.Float64() < 0.35 {
+		mutate(rng, s, nItems)
+		name += "-mut"
+	}
+	return Case{Name: name, S: s, Origins: origins}
+}
+
+func randMachine(rng *rand.Rand) logp.Machine {
+	for {
+		m := logp.Machine{
+			P: 2 + rng.Intn(5),
+			L: logp.Time(1 + rng.Intn(8)),
+			O: logp.Time(rng.Intn(3)),
+			G: logp.Time(1 + rng.Intn(3)),
+		}
+		if m.Validate() == nil {
+			return m
+		}
+	}
+}
+
+// walk grows a schedule send by send in nondecreasing time order, tracking
+// exactly the state the machines enforce: send-port spacing and overhead
+// windows at the sender, arrival spacing and overhead windows at the
+// receiver (skipped at the burst drain target), item availability, and the
+// in-transit capacity bound in both directions.
+func walk(rng *rand.Rand, m logp.Machine, origins map[int]schedule.Origin, burst bool) *schedule.Schedule {
+	s := &schedule.Schedule{M: m}
+	sends := make([][]logp.Time, m.P) // send start times per proc, ascending
+	arrs := make([][]logp.Time, m.P)  // arrival times per proc, ascending
+	outEnds := make([][]logp.Time, m.P)
+	inEnds := make([][]logp.Time, m.P)
+	avail := make([]map[int]logp.Time, m.P)
+	for i := range avail {
+		avail[i] = make(map[int]logp.Time)
+	}
+	for item, og := range origins {
+		if cur, ok := avail[og.Proc][item]; !ok || og.Time < cur {
+			avail[og.Proc][item] = og.Time
+		}
+	}
+	drain := -1
+	if burst {
+		drain = rng.Intn(m.P)
+	}
+	target := 3 + rng.Intn(10)
+	made := 0
+	for t, tries := logp.Time(0), 0; made < target && tries < 200; tries++ {
+		for _, p := range rng.Perm(m.P) {
+			if made >= target || p == drain || rng.Float64() < 0.35 {
+				continue
+			}
+			// Items usable at p by time t, in deterministic order.
+			var items []int
+			for it, at := range avail[p] {
+				if at <= t {
+					items = append(items, it)
+				}
+			}
+			if len(items) == 0 {
+				continue
+			}
+			sort.Ints(items)
+			item := items[rng.Intn(len(items))]
+			dst := drain
+			if dst < 0 {
+				dst = rng.Intn(m.P - 1)
+				if dst >= p {
+					dst++
+				}
+			} else if dst == p {
+				continue
+			}
+			if !legal(m, sends, arrs, outEnds, inEnds, p, dst, t, dst == drain) {
+				continue
+			}
+			a := t + m.O + m.L
+			s.Send(p, t, item, dst)
+			sends[p] = append(sends[p], t)
+			arrs[dst] = append(arrs[dst], a)
+			outEnds[p] = append(outEnds[p], a)
+			inEnds[dst] = append(inEnds[dst], a)
+			if cur, ok := avail[dst][item]; !ok || a+m.O < cur {
+				avail[dst][item] = a + m.O
+			}
+			made++
+		}
+		t += logp.Time(1 + rng.Intn(2))
+	}
+	return s
+}
+
+// legal reports whether a send from p to dst starting at t breaks none of
+// the strict-mode machine rules given the sends and arrivals recorded so
+// far. When relaxDst is set (burst mode) the receive-side checks at dst are
+// skipped, making arrival collisions possible while everything the buffered
+// machine enforces — sender port, overhead, capacity — stays respected.
+func legal(m logp.Machine, sends, arrs, outEnds, inEnds [][]logp.Time, p, dst int, t logp.Time, relaxDst bool) bool {
+	if n := len(sends[p]); n > 0 {
+		last := sends[p][n-1]
+		if t < last+m.G || t < last+m.O {
+			return false
+		}
+	}
+	// The sender must be outside every reception overhead window — including
+	// future arrivals already implied by earlier sends.
+	for _, a := range arrs[p] {
+		if absDiff(t, a) < m.O {
+			return false
+		}
+	}
+	a := t + m.O + m.L
+	if !relaxDst {
+		gap := m.G
+		if m.O > gap {
+			gap = m.O
+		}
+		for _, x := range arrs[dst] {
+			if absDiff(a, x) < gap {
+				return false
+			}
+		}
+		for _, x := range sends[dst] {
+			if absDiff(a, x) < m.O {
+				return false
+			}
+		}
+	}
+	// Capacity in both directions: every in-transit interval is (x+o, x+o+L]
+	// with x <= t, so all intervals still open just after t+o overlap the
+	// new one there.
+	capN := m.Capacity()
+	if inTransit(outEnds[p], t+m.O)+1 > capN {
+		return false
+	}
+	if inTransit(inEnds[dst], t+m.O)+1 > capN {
+		return false
+	}
+	return true
+}
+
+func inTransit(ends []logp.Time, at logp.Time) int {
+	n := 0
+	for _, e := range ends {
+		if e > at {
+			n++
+		}
+	}
+	return n
+}
+
+func absDiff(a, b logp.Time) logp.Time {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// mutate applies one or two random perturbations to the schedule. Each class
+// of perturbation is detectable by every backend, so mutated cases exercise
+// the clean-flag agreement half of the contract.
+func mutate(rng *rand.Rand, s *schedule.Schedule, nItems int) {
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n && len(s.Events) > 0; i++ {
+		idx := rng.Intn(len(s.Events))
+		ev := &s.Events[idx]
+		switch rng.Intn(4) {
+		case 0: // shift in time, possibly before the clock starts
+			ev.Time += logp.Time(rng.Intn(7) - 3)
+			if ev.Time < -3 {
+				ev.Time = -3
+			}
+		case 1: // retarget: to itself, out of range, or another processor
+			switch rng.Intn(3) {
+			case 0:
+				ev.Peer = ev.Proc
+			case 1:
+				ev.Peer = s.M.P + rng.Intn(2)
+			default:
+				ev.Peer = rng.Intn(s.M.P)
+			}
+		case 2: // duplicate send at the same instant (port violation)
+			dup := *ev
+			s.Append(dup)
+		case 3: // swap the item, possibly to one that has no origin at all
+			ev.Item = rng.Intn(nItems + 1)
+		}
+	}
+}

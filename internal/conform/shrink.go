@@ -1,0 +1,100 @@
+package conform
+
+import (
+	"logpopt/internal/schedule"
+)
+
+// Shrink minimizes a diverging case while the predicate keeps holding: it
+// greedily drops send events (largest-first passes until a fixed point),
+// then drops origins no remaining event uses, then reduces P to the highest
+// processor actually referenced. The result is the smallest case this
+// process can reach that still satisfies diverges — typically a handful of
+// events that make a divergence readable.
+func Shrink(c Case, diverges func(Case) bool) Case {
+	if !diverges(c) {
+		return c
+	}
+	cur := c
+	for {
+		shrunk := false
+		for i := len(cur.S.Events) - 1; i >= 0; i-- {
+			cand := dropEvent(cur, i)
+			if diverges(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	if cand, changed := dropUnusedOrigins(cur); changed && diverges(cand) {
+		cur = cand
+	}
+	if cand, changed := reduceP(cur); changed && diverges(cand) {
+		cur = cand
+	}
+	cur.Name = c.Name + "-shrunk"
+	return cur
+}
+
+func dropEvent(c Case, i int) Case {
+	evs := make([]schedule.Event, 0, len(c.S.Events)-1)
+	evs = append(evs, c.S.Events[:i]...)
+	evs = append(evs, c.S.Events[i+1:]...)
+	return Case{
+		Name:    c.Name,
+		S:       &schedule.Schedule{M: c.S.M, Events: evs},
+		Origins: c.Origins,
+	}
+}
+
+func dropUnusedOrigins(c Case) (Case, bool) {
+	used := make(map[int]bool)
+	for _, ev := range c.S.Events {
+		used[ev.Item] = true
+	}
+	og := make(map[int]schedule.Origin)
+	changed := false
+	for item, o := range c.Origins {
+		if used[item] {
+			og[item] = o
+		} else {
+			changed = true
+		}
+	}
+	if !changed {
+		return c, false
+	}
+	return Case{Name: c.Name, S: c.S, Origins: og}, true
+}
+
+func reduceP(c Case) (Case, bool) {
+	hi := 1 // machines need P >= 2
+	for _, ev := range c.S.Events {
+		if ev.Proc > hi {
+			hi = ev.Proc
+		}
+		if ev.Peer > hi {
+			hi = ev.Peer
+		}
+	}
+	for _, o := range c.Origins {
+		if o.Proc > hi {
+			hi = o.Proc
+		}
+	}
+	if hi+1 >= c.S.M.P {
+		return c, false
+	}
+	m := c.S.M
+	m.P = hi + 1
+	if m.Validate() != nil {
+		return c, false
+	}
+	return Case{
+		Name:    c.Name,
+		S:       &schedule.Schedule{M: m, Events: c.S.Events},
+		Origins: c.Origins,
+	}, true
+}

@@ -1,0 +1,66 @@
+package conform
+
+import (
+	"testing"
+
+	"logpopt/internal/kitem"
+	"logpopt/internal/logp"
+)
+
+// Theorem 3.8: in the modified model where arrivals queue and one message is
+// received per step, k-item broadcast needs buffers of size at most 2. The
+// staggered constructor claims that bound; here two independent machine
+// implementations — the simulator's buffer high-water mark and the runtime's
+// queue high-water mark — must both confirm it, and agree with each other
+// and with the constructor's own bookkeeping.
+func TestTheorem38BufferSize(t *testing.T) {
+	ck := NewChecker()
+	for _, pc := range [][3]int{{4, 9, 5}, {3, 8, 6}, {5, 12, 8}, {4, 16, 10}} {
+		l, p, k := pc[0], pc[1], pc[2]
+		st, err := kitem.Staggered(logp.Time(l), p, k)
+		if err != nil {
+			t.Fatalf("staggered l=%d p=%d k=%d: %v", l, p, k, err)
+		}
+		c := Case{Name: "staggered", S: st.Schedule, Origins: kitem.Origins(k)}
+		simR := ck.simBuf.Replay(c)
+		rtR := ck.rtBuf.Replay(c)
+		if !simR.Clean() || !rtR.Clean() {
+			t.Fatalf("l=%d p=%d k=%d: buffered replay not clean: sim=%v rt=%v",
+				l, p, k, simR.Violations, rtR.Violations)
+		}
+		if simR.MaxBuffer != rtR.MaxBuffer {
+			t.Errorf("l=%d p=%d k=%d: sim MaxBuffer=%d, runtime MaxQueue=%d",
+				l, p, k, simR.MaxBuffer, rtR.MaxBuffer)
+		}
+		if simR.MaxBuffer != st.MaxBuffer {
+			t.Errorf("l=%d p=%d k=%d: constructor claims MaxBuffer=%d, sim measured %d",
+				l, p, k, st.MaxBuffer, simR.MaxBuffer)
+		}
+		if simR.MaxBuffer > 2 {
+			t.Errorf("l=%d p=%d k=%d: buffer high-water %d exceeds Theorem 3.8's bound of 2",
+				l, p, k, simR.MaxBuffer)
+		}
+	}
+}
+
+// The greedy buffered scheduler's replay is not violation-free (its drain
+// bookkeeping predates the engine's tie-breaking), but the two executing
+// backends must still agree on the queue high-water mark: both implement the
+// same record-and-continue machine.
+func TestBufferedGreedyHighWaterAgrees(t *testing.T) {
+	ck := NewChecker()
+	for _, pc := range [][3]int{{4, 9, 5}, {3, 8, 6}, {2, 6, 4}} {
+		l, p, k := pc[0], pc[1], pc[2]
+		r, err := kitem.Greedy(logp.Time(l), p, k, kitem.Buffered)
+		if err != nil {
+			t.Fatalf("greedy l=%d p=%d k=%d: %v", l, p, k, err)
+		}
+		c := Case{Name: "greedy-buffered", S: r.Schedule, Origins: kitem.Origins(k)}
+		simR := ck.simBuf.Replay(c)
+		rtR := ck.rtBuf.Replay(c)
+		if simR.MaxBuffer != rtR.MaxBuffer {
+			t.Errorf("l=%d p=%d k=%d: sim MaxBuffer=%d, runtime MaxQueue=%d",
+				l, p, k, simR.MaxBuffer, rtR.MaxBuffer)
+		}
+	}
+}

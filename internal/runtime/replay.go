@@ -14,26 +14,106 @@ import (
 // events cross-checks the schedule's arrival bookkeeping against a second,
 // independently implemented machine.
 //
-// The payload of every replayed message is its item id.
+// The payload of every replayed message is its item id. No item-availability
+// checking is done: the handlers transmit ids, not values, and trust the
+// schedule. Use ReplayHandlers for the full replay semantics the simulator
+// applies.
 func ScheduleHandlers(s *schedule.Schedule) []Handler {
+	return replayHandlers(s, nil, false)
+}
+
+// ReplayHandlers is ScheduleHandlers under the simulator's replay contract:
+// a send is dropped (and recorded as a violation) when the sender does not
+// hold the item yet — availability flows from the given origins and from the
+// messages this processor actually received, o cycles after each reception —
+// or when the destination is out of range, the sender itself, or the
+// scheduled time is negative. Port-rule violations are recorded by Send as
+// usual. Replaying a schedule through these handlers and through sim.Replay
+// must produce identical traces and agree on whether violations occurred;
+// the conformance harness (internal/conform) enforces exactly that.
+func ReplayHandlers(s *schedule.Schedule, origins map[int]schedule.Origin) []Handler {
+	return replayHandlers(s, origins, true)
+}
+
+func replayHandlers(s *schedule.Schedule, origins map[int]schedule.Origin, checkAvail bool) []Handler {
 	perProc := make([][]schedule.Event, s.M.P)
 	for _, ev := range s.Events {
 		if ev.Op == schedule.OpSend && ev.Proc >= 0 && ev.Proc < s.M.P {
 			perProc[ev.Proc] = append(perProc[ev.Proc], ev)
 		}
 	}
+	o := s.M.O
 	handlers := make([]Handler, s.M.P)
 	for p := range perProc {
 		evs := perProc[p]
 		if len(evs) == 0 {
 			continue
 		}
-		sort.Slice(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+		// Full deterministic key: sort.Slice is unstable, so ordering by
+		// Time alone would make same-instant sends race for the port.
+		sort.Slice(evs, func(i, j int) bool {
+			a, b := evs[i], evs[j]
+			if a.Time != b.Time {
+				return a.Time < b.Time
+			}
+			if a.Item != b.Item {
+				return a.Item < b.Item
+			}
+			return a.Peer < b.Peer
+		})
+		var avail map[int]logp.Time
+		if checkAvail {
+			avail = make(map[int]logp.Time)
+			for item, og := range origins {
+				if og.Proc == p {
+					if cur, ok := avail[item]; !ok || og.Time < cur {
+						avail[item] = og.Time
+					}
+				}
+			}
+		}
 		next := 0
 		handlers[p] = func(pr *Proc, now logp.Time) {
+			if checkAvail {
+				for _, msg := range pr.Received() {
+					if cur, ok := avail[msg.Item]; !ok || msg.RecvdAt+o < cur {
+						avail[msg.Item] = msg.RecvdAt + o
+					}
+				}
+			}
+			if now == 0 {
+				// The clock starts at 0; skip (and under replay semantics
+				// record) sends scheduled before then so they cannot jam
+				// the cursor.
+				for next < len(evs) && evs[next].Time < 0 {
+					ev := evs[next]
+					next++
+					if checkAvail {
+						pr.Violate("replay", "runtime: proc %d send of item %d at negative time %d",
+							pr.ID, ev.Item, ev.Time)
+					}
+				}
+			}
 			for next < len(evs) && evs[next].Time == now {
 				ev := evs[next]
 				next++
+				if checkAvail {
+					if ev.Peer < 0 || ev.Peer >= s.M.P {
+						pr.Violate(schedule.VBadProc,
+							"runtime: proc %d send of item %d to out-of-range %d", pr.ID, ev.Item, ev.Peer)
+						continue
+					}
+					if ev.Peer == pr.ID {
+						pr.Violate(schedule.VSelfSend,
+							"runtime: proc %d sends item %d to itself", pr.ID, ev.Item)
+						continue
+					}
+					if t, ok := avail[ev.Item]; !ok || t > now {
+						pr.Violate(schedule.VAvail,
+							"runtime: proc %d does not hold item %d at time %d", pr.ID, ev.Item, now)
+						continue
+					}
+				}
 				_ = pr.Send(now, ev.Peer, ev.Item, ev.Item)
 			}
 		}
@@ -41,8 +121,8 @@ func ScheduleHandlers(s *schedule.Schedule) []Handler {
 	return handlers
 }
 
-// Horizon returns a virtual-time bound by which a schedule's replay is
-// certainly finished: last send + o + L + o + 1.
+// Horizon returns a virtual-time bound by which a strict-mode schedule
+// replay is certainly finished: last send + o + L + o + 1.
 func Horizon(s *schedule.Schedule) logp.Time {
 	var last logp.Time
 	for _, ev := range s.Events {
@@ -51,4 +131,21 @@ func Horizon(s *schedule.Schedule) logp.Time {
 		}
 	}
 	return last + 2*s.M.O + s.M.L + 2
+}
+
+// DrainHorizon bounds a buffered-mode replay, where each queued message may
+// wait up to max(g, o) cycles for its receive slot after the last arrival:
+// Horizon plus that per-message allowance for every send in the schedule.
+func DrainHorizon(s *schedule.Schedule) logp.Time {
+	step := s.M.G
+	if s.M.O > step {
+		step = s.M.O
+	}
+	n := 0
+	for _, ev := range s.Events {
+		if ev.Op == schedule.OpSend {
+			n++
+		}
+	}
+	return Horizon(s) + logp.Time(n+1)*step
 }

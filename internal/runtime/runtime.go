@@ -12,6 +12,13 @@
 // Determinism: each processor goroutine touches only its own state during a
 // step; the coordinator merges outboxes in processor order, so runs are
 // reproducible despite real concurrency.
+//
+// Violation semantics match the simulator's: breaking a machine rule (busy
+// port, gap, capacity, bad destination) records a schedule.Violation and the
+// run continues — a busy receive port still receives, an illegal send is
+// dropped. Inspect Violations() after the run; a run never aborts. This is
+// the contract the conformance harness (internal/conform) relies on to diff
+// the runtime against the discrete-event simulator and the validator.
 package runtime
 
 import (
@@ -49,7 +56,7 @@ type Proc struct {
 	busyUntil     logp.Time
 	maxQueue      int
 	sentThisStep  bool
-	err           error
+	pending       []schedule.Violation // recorded by the handler goroutine
 }
 
 const minusInf = logp.Time(-1) << 40
@@ -59,18 +66,34 @@ func (p *Proc) CanSend(now logp.Time) bool {
 	return now >= p.lastSendStart+p.rt.m.G && now >= p.busyUntil && !p.sentThisStep
 }
 
+// Violate records a model violation observed at this processor. It is safe
+// to call from the handler goroutine; the coordinator merges per-processor
+// violations in processor order after each step, so runs stay deterministic.
+func (p *Proc) Violate(kind, format string, args ...any) {
+	p.pending = append(p.pending, schedule.Violation{
+		Kind: kind,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Send queues a message for transmission beginning at the current step. At
 // most one send may start per step per processor, and the gap/overhead rules
-// apply; violations are recorded and fail the run.
+// apply. An illegal send records a violation, is dropped, and is reported to
+// the caller as an error; the run continues either way.
 func (p *Proc) Send(now logp.Time, to, item int, payload any) error {
-	if to < 0 || to >= p.rt.m.P || to == p.ID {
-		err := fmt.Errorf("runtime: proc %d: bad destination %d", p.ID, to)
-		p.fail(err)
+	if to < 0 || to >= p.rt.m.P {
+		err := fmt.Errorf("runtime: proc %d: destination %d out of range (P=%d)", p.ID, to, p.rt.m.P)
+		p.Violate(schedule.VBadProc, "%v", err)
+		return err
+	}
+	if to == p.ID {
+		err := fmt.Errorf("runtime: proc %d: send of item %d to itself", p.ID, item)
+		p.Violate(schedule.VSelfSend, "%v", err)
 		return err
 	}
 	if !p.CanSend(now) {
 		err := fmt.Errorf("runtime: proc %d: send port busy at %d", p.ID, now)
-		p.fail(err)
+		p.Violate(schedule.VGap, "%v", err)
 		return err
 	}
 	p.sentThisStep = true
@@ -89,12 +112,6 @@ func (p *Proc) Send(now logp.Time, to, item int, payload any) error {
 // current step (after the port discipline has been applied).
 func (p *Proc) Received() []Message { return p.inboxThisStep }
 
-func (p *Proc) fail(err error) {
-	if p.err == nil {
-		p.err = err
-	}
-}
-
 // Handler is the per-step program of one processor. It is called once per
 // virtual time step, on its own goroutine, after that step's receptions have
 // been delivered.
@@ -102,13 +119,18 @@ type Handler func(p *Proc, now logp.Time)
 
 // Runtime executes P handlers in barrier-synchronized virtual time.
 type Runtime struct {
-	m        logp.Machine
-	mode     Mode
-	procs    []*Proc
-	handlers []Handler
-	now      logp.Time
-	inflight []Message
-	trace    *schedule.Schedule
+	m          logp.Machine
+	mode       Mode
+	procs      []*Proc
+	handlers   []Handler
+	now        logp.Time
+	inflight   []Message
+	trace      *schedule.Schedule
+	violations []schedule.Violation
+	// In-network interval end times per processor for the capacity bound,
+	// mirroring the simulator's bookkeeping (see sim.checkCapacity).
+	outEnds [][]logp.Time
+	inEnds  [][]logp.Time
 }
 
 // Mode mirrors sim: Strict receives arrivals immediately (recording a
@@ -135,6 +157,8 @@ func New(m logp.Machine, mode Mode, handlers []Handler) (*Runtime, error) {
 	for i := range rt.procs {
 		rt.procs[i] = &Proc{ID: i, rt: rt, lastSendStart: minusInf, lastRecvStart: minusInf, busyUntil: minusInf}
 	}
+	rt.outEnds = make([][]logp.Time, m.P)
+	rt.inEnds = make([][]logp.Time, m.P)
 	return rt, nil
 }
 
@@ -145,8 +169,9 @@ func (rt *Runtime) Proc(id int) *Proc { return rt.procs[id] }
 func (rt *Runtime) Now() logp.Time { return rt.now }
 
 // Step advances one virtual time step: delivers arrivals, runs all handlers
-// concurrently, then collects outboxes. It returns the first handler error.
-func (rt *Runtime) Step() error {
+// concurrently, then collects outboxes and merges recorded violations in
+// processor order.
+func (rt *Runtime) Step() {
 	now := rt.now
 	// Deliver arrivals due now.
 	rest := rt.inflight[:0]
@@ -181,13 +206,17 @@ func (rt *Runtime) Step() error {
 		})
 		switch rt.mode {
 		case Strict:
-			// Everything that has arrived must be received now; the port
-			// admits one per gap.
+			// Everything that has arrived must be received now; a busy port
+			// is a violation but the reception still happens, exactly as in
+			// the simulator.
 			for len(p.queue) > 0 {
 				msg := p.queue[0]
 				if now < p.lastRecvStart+rt.m.G || now < p.busyUntil {
-					p.fail(fmt.Errorf("runtime: proc %d: receive port busy for item %d at %d",
-						p.ID, msg.Item, now))
+					rt.violations = append(rt.violations, schedule.Violation{
+						Kind: schedule.VGap,
+						Msg: fmt.Sprintf("runtime: proc %d: receive port busy for item %d at %d",
+							p.ID, msg.Item, now),
+					})
 				}
 				p.queue = p.queue[1:]
 				rt.deliver(p, msg, now)
@@ -213,19 +242,56 @@ func (rt *Runtime) Step() error {
 		}(rt.procs[i], h)
 	}
 	wg.Wait()
-	// Collect outboxes in processor order (determinism).
+	// Collect outboxes and violations in processor order (determinism).
 	for _, p := range rt.procs {
 		for _, msg := range p.outbox {
+			rt.checkCapacity(msg.From, msg.To, msg.SentAt)
 			rt.inflight = append(rt.inflight, msg)
 			rt.trace.Send(msg.From, msg.SentAt, msg.Item, msg.To)
 		}
 		p.outbox = p.outbox[:0]
-		if p.err != nil {
-			return p.err
-		}
+		rt.violations = append(rt.violations, p.pending...)
+		p.pending = p.pending[:0]
 	}
 	rt.now++
-	return nil
+}
+
+// checkCapacity enforces the network capacity bound ceil(L/g) on the message
+// sent at time at, recording a violation when exceeded. Sends are processed
+// in nondecreasing time order, so per-processor end-time queues suffice.
+func (rt *Runtime) checkCapacity(from, to int, at logp.Time) {
+	capN := rt.m.Capacity()
+	start := at + rt.m.O
+	end := start + rt.m.L
+	rt.outEnds[from] = pruneEnds(rt.outEnds[from], start)
+	rt.inEnds[to] = pruneEnds(rt.inEnds[to], start)
+	if len(rt.outEnds[from])+1 > capN {
+		rt.violations = append(rt.violations, schedule.Violation{
+			Kind: schedule.VCapacity,
+			Msg: fmt.Sprintf("runtime: %d messages in transit from proc %d at time %d (capacity %d)",
+				len(rt.outEnds[from])+1, from, start, capN),
+		})
+	}
+	if len(rt.inEnds[to])+1 > capN {
+		rt.violations = append(rt.violations, schedule.Violation{
+			Kind: schedule.VCapacity,
+			Msg: fmt.Sprintf("runtime: %d messages in transit to proc %d at time %d (capacity %d)",
+				len(rt.inEnds[to])+1, to, start, capN),
+		})
+	}
+	rt.outEnds[from] = append(rt.outEnds[from], end)
+	rt.inEnds[to] = append(rt.inEnds[to], end)
+}
+
+func pruneEnds(ends []logp.Time, s logp.Time) []logp.Time {
+	i := 0
+	for i < len(ends) && ends[i] <= s {
+		i++
+	}
+	if i > 0 {
+		ends = append(ends[:0], ends[i:]...)
+	}
+	return ends
 }
 
 func (rt *Runtime) deliver(p *Proc, msg Message, now logp.Time) {
@@ -238,35 +304,33 @@ func (rt *Runtime) deliver(p *Proc, msg Message, now logp.Time) {
 	rt.trace.Recv(p.ID, now, msg.Item, msg.From)
 }
 
-// Run executes steps until the virtual clock reaches until (exclusive) or a
-// handler fails.
-func (rt *Runtime) Run(until logp.Time) error {
+// Run executes steps until the virtual clock reaches until (exclusive).
+func (rt *Runtime) Run(until logp.Time) {
 	for rt.now < until {
-		if err := rt.Step(); err != nil {
-			return err
-		}
+		rt.Step()
 	}
-	return nil
 }
 
 // Quiesce runs until communication has started (at least one message sent)
 // and then fully drained (nothing in flight or queued, and a step passes
 // without new sends), up to horizon. If the handlers never communicate,
 // Quiesce runs to the horizon.
-func (rt *Runtime) Quiesce(horizon logp.Time) error {
+func (rt *Runtime) Quiesce(horizon logp.Time) {
 	started := false
 	for rt.now < horizon {
-		if err := rt.Step(); err != nil {
-			return err
-		}
+		rt.Step()
 		if len(rt.inflight) > 0 {
 			started = true
 		}
-		if started && len(rt.inflight) == 0 && !rt.anyQueued() {
-			return nil
+		if started && !rt.Pending() {
+			return
 		}
 	}
-	return nil
+}
+
+// Pending reports whether any message is still in flight or queued.
+func (rt *Runtime) Pending() bool {
+	return len(rt.inflight) > 0 || rt.anyQueued()
 }
 
 func (rt *Runtime) anyQueued() bool {
@@ -283,6 +347,12 @@ func (rt *Runtime) Trace() *schedule.Schedule {
 	s := &schedule.Schedule{M: rt.m, Events: append([]schedule.Event(nil), rt.trace.Events...)}
 	s.Sort()
 	return s
+}
+
+// Violations returns a copy of the model violations recorded so far, in the
+// deterministic order the coordinator merged them.
+func (rt *Runtime) Violations() []schedule.Violation {
+	return append([]schedule.Violation(nil), rt.violations...)
 }
 
 // MaxQueue returns the largest receive-queue occupancy seen at any processor.

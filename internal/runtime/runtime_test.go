@@ -22,8 +22,9 @@ func TestReplayOptimalBroadcast(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := rt.Run(Horizon(s)); err != nil {
-			t.Fatalf("%v: %v", m, err)
+		rt.Run(Horizon(s))
+		if vs := rt.Violations(); len(vs) != 0 {
+			t.Fatalf("%v: runtime violations: %v", m, vs)
 		}
 		tr := rt.Trace()
 		if vs := schedule.ValidateBroadcast(tr, core.Origins(0)); len(vs) != 0 {
@@ -52,9 +53,7 @@ func TestRuntimeAgreesWithSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(Horizon(s)); err != nil {
-		t.Fatal(err)
-	}
+	rt.Run(Horizon(s))
 	rtTrace := rt.Trace()
 
 	if !reflect.DeepEqual(simTrace.Events, rtTrace.Events) {
@@ -81,15 +80,18 @@ func TestPayloadsFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(6); err != nil {
-		t.Fatal(err)
-	}
+	rt.Run(6)
 	if got := rt.Proc(1).State; got != 42 {
 		t.Fatalf("payload = %v, want 42", got)
 	}
 }
 
-func TestStrictPortContentionFails(t *testing.T) {
+func TestStrictPortContentionRecordsAndContinues(t *testing.T) {
+	// Regression (conformance satellite): a busy receive port used to abort
+	// the whole run with an error, while the simulator records a violation
+	// and receives anyway. The unified semantics are the simulator's: the
+	// run completes, both messages are delivered, and the contention is
+	// visible through Violations().
 	m := logp.Postal(3, 4)
 	handlers := []Handler{
 		func(p *Proc, now logp.Time) {
@@ -108,8 +110,47 @@ func TestStrictPortContentionFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(10); err == nil {
-		t.Fatal("simultaneous arrivals did not fail in strict mode")
+	rt.Run(10)
+	vs := rt.Violations()
+	if len(vs) == 0 {
+		t.Fatal("simultaneous arrivals recorded no violation")
+	}
+	if vs[0].Kind != schedule.VGap {
+		t.Fatalf("violation kind %q, want %q", vs[0].Kind, schedule.VGap)
+	}
+	recvs := 0
+	for _, ev := range rt.Trace().Events {
+		if ev.Op == schedule.OpRecv {
+			recvs++
+		}
+	}
+	if recvs != 2 {
+		t.Fatalf("%d receptions, want 2 (busy port must still receive)", recvs)
+	}
+}
+
+func TestViolationsReturnsCopy(t *testing.T) {
+	m := logp.Postal(2, 2)
+	handlers := []Handler{
+		func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 0, 0, nil) // self-send: recorded violation
+			}
+		},
+		nil,
+	}
+	rt, err := New(m, Strict, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(2)
+	a := rt.Violations()
+	if len(a) != 1 {
+		t.Fatalf("%d violations, want 1", len(a))
+	}
+	a[0].Kind = "mutated"
+	if b := rt.Violations(); b[0].Kind != schedule.VSelfSend {
+		t.Fatal("Violations() exposed internal state to caller mutation")
 	}
 }
 
@@ -137,9 +178,7 @@ func TestBufferedQueues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(10); err != nil {
-		t.Fatal(err)
-	}
+	rt.Run(10)
 	want := []logp.Time{4, 5}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("reception times %v, want %v", got, want)
@@ -149,13 +188,15 @@ func TestBufferedQueues(t *testing.T) {
 	}
 }
 
-func TestDoubleSendSameStepFails(t *testing.T) {
+func TestDoubleSendSameStepRecords(t *testing.T) {
 	m := logp.Postal(3, 2)
 	handlers := []Handler{
 		func(p *Proc, now logp.Time) {
 			if now == 0 {
 				_ = p.Send(now, 1, 0, nil)
-				_ = p.Send(now, 2, 1, nil) // second send in same step: illegal
+				if err := p.Send(now, 2, 1, nil); err == nil {
+					t.Error("second send in one step returned no error")
+				}
 			}
 		},
 		nil, nil,
@@ -164,8 +205,18 @@ func TestDoubleSendSameStepFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(5); err == nil {
-		t.Fatal("two sends in one step did not fail")
+	rt.Run(5)
+	if vs := rt.Violations(); len(vs) != 1 || vs[0].Kind != schedule.VGap {
+		t.Fatalf("violations %v, want one %q", vs, schedule.VGap)
+	}
+	sends := 0
+	for _, ev := range rt.Trace().Events {
+		if ev.Op == schedule.OpSend {
+			sends++
+		}
+	}
+	if sends != 1 {
+		t.Fatalf("%d sends in trace, want 1 (illegal send must be dropped)", sends)
 	}
 }
 
@@ -192,9 +243,7 @@ func TestQuiesce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Quiesce(100); err != nil {
-		t.Fatal(err)
-	}
+	rt.Quiesce(100)
 	if rt.Now() > 20 {
 		t.Fatalf("quiesce overran: now=%d", rt.Now())
 	}
@@ -204,12 +253,14 @@ func TestQuiesce(t *testing.T) {
 	}
 }
 
-func TestSendToSelfFails(t *testing.T) {
+func TestSendToSelfRecords(t *testing.T) {
 	m := logp.Postal(3, 2)
 	handlers := []Handler{
 		func(p *Proc, now logp.Time) {
 			if now == 0 {
-				_ = p.Send(now, 0, 0, nil) // self-send
+				if err := p.Send(now, 0, 0, nil); err == nil {
+					t.Error("self-send returned no error")
+				}
 			}
 		},
 		nil, nil,
@@ -218,17 +269,23 @@ func TestSendToSelfFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(3); err == nil {
-		t.Fatal("self-send did not fail the run")
+	rt.Run(3)
+	if vs := rt.Violations(); len(vs) != 1 || vs[0].Kind != schedule.VSelfSend {
+		t.Fatalf("violations %v, want one %q", vs, schedule.VSelfSend)
+	}
+	if len(rt.Trace().Events) != 0 {
+		t.Fatal("self-send must not enter the trace")
 	}
 }
 
-func TestSendOutOfRangeFails(t *testing.T) {
+func TestSendOutOfRangeRecords(t *testing.T) {
 	m := logp.Postal(2, 2)
 	handlers := []Handler{
 		func(p *Proc, now logp.Time) {
 			if now == 0 {
-				_ = p.Send(now, 7, 0, nil)
+				if err := p.Send(now, 7, 0, nil); err == nil {
+					t.Error("out-of-range send returned no error")
+				}
 			}
 		},
 		nil,
@@ -237,8 +294,40 @@ func TestSendOutOfRangeFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(3); err == nil {
-		t.Fatal("out-of-range send did not fail the run")
+	rt.Run(3)
+	if vs := rt.Violations(); len(vs) != 1 || vs[0].Kind != schedule.VBadProc {
+		t.Fatalf("violations %v, want one %q", vs, schedule.VBadProc)
+	}
+	if len(rt.Trace().Events) != 0 {
+		t.Fatal("out-of-range send must not enter the trace")
+	}
+}
+
+func TestCapacityViolationRecorded(t *testing.T) {
+	// Postal machine with L=4, g=1: capacity ceil(L/g)=4 toward any one
+	// processor. Five senders hitting proc 5 in the same step exceed it.
+	m := logp.Postal(6, 4)
+	handlers := make([]Handler, 6)
+	for i := 0; i < 5; i++ {
+		handlers[i] = func(p *Proc, now logp.Time) {
+			if now == 0 {
+				_ = p.Send(now, 5, 0, nil)
+			}
+		}
+	}
+	rt, err := New(m, Buffered, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(12)
+	found := false
+	for _, v := range rt.Violations() {
+		if v.Kind == schedule.VCapacity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no capacity violation recorded: %v", rt.Violations())
 	}
 }
 
@@ -267,11 +356,38 @@ func TestOverheadBlocksSend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.Run(10); err != nil {
-		t.Fatal(err)
-	}
+	rt.Run(10)
 	if !gotErr {
 		t.Fatal("send during receive overhead was allowed")
+	}
+}
+
+func TestReplayHandlersChecksAvailability(t *testing.T) {
+	// Proc 1 forwards item 0 before it could have received it; the replay
+	// handler must drop the send and record an availability violation, like
+	// sim.Replay does.
+	m := logp.Postal(3, 3)
+	s := &schedule.Schedule{M: m}
+	s.Send(0, 0, 0, 1) // arrives at 3, available at 3
+	s.Send(1, 1, 0, 2) // too early: proc 1 holds item 0 only from t=3
+	origins := map[int]schedule.Origin{0: {Proc: 0}}
+	rt, err := New(m, Strict, ReplayHandlers(s, origins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(Horizon(s))
+	vs := rt.Violations()
+	if len(vs) != 1 || vs[0].Kind != schedule.VAvail {
+		t.Fatalf("violations %v, want one %q", vs, schedule.VAvail)
+	}
+	sends := 0
+	for _, ev := range rt.Trace().Events {
+		if ev.Op == schedule.OpSend {
+			sends++
+		}
+	}
+	if sends != 1 {
+		t.Fatalf("%d sends executed, want 1", sends)
 	}
 }
 
@@ -285,9 +401,7 @@ func TestDeterministicTraces(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := rt.Run(Horizon(s)); err != nil {
-			t.Fatal(err)
-		}
+		rt.Run(Horizon(s))
 		return rt.Trace().Events
 	}
 	a, b := run(), run()

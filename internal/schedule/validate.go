@@ -417,6 +417,25 @@ func ValidateBroadcast(s *Schedule, origins map[int]Origin) []Violation {
 	return out
 }
 
+// Kinds returns the distinct violation kinds present, sorted — a compact
+// fingerprint of how a schedule is illegal, independent of message wording
+// and multiplicity. Implementations that detect the same defect through
+// different rules (e.g. a busy port reported as gap vs busy-overlap) still
+// differ here, so cross-implementation comparisons should treat any
+// non-empty kind set as "flagged" rather than diffing the sets themselves.
+func Kinds(vs []Violation) []string {
+	seen := make(map[string]bool, len(vs))
+	var out []string
+	for _, v := range vs {
+		if !seen[v.Kind] {
+			seen[v.Kind] = true
+			out = append(out, v.Kind)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // FirstError converts a violation list into a single error (nil when empty),
 // for callers that only need pass/fail.
 func FirstError(vs []Violation) error {

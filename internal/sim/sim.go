@@ -49,6 +49,11 @@ type procState struct {
 	avail         map[int]logp.Time
 	buffer        []Msg // arrived, not yet received (Buffered mode)
 	maxBuffer     int
+	// In-network interval end times (sendAt+o+L) of messages currently in
+	// transit from / to this processor, for the capacity bound ceil(L/g).
+	// Sends happen in nondecreasing time order, so both are sorted queues.
+	outEnds []logp.Time
+	inEnds  []logp.Time
 }
 
 // flightHeap is a binary min-heap of in-flight messages ordered by arrival
@@ -163,6 +168,8 @@ func (e *Engine) Reset(m logp.Machine, mode Mode) {
 		}
 		ps.buffer = ps.buffer[:0]
 		ps.maxBuffer = 0
+		ps.outEnds = ps.outEnds[:0]
+		ps.inEnds = ps.inEnds[:0]
 	}
 }
 
@@ -225,10 +232,54 @@ func (e *Engine) Send(from, item, to int) error {
 	if end := e.now + e.M.O; end > ps.busyUntil {
 		ps.busyUntil = end
 	}
+	e.checkCapacity(from, to)
 	msg := Msg{From: from, To: to, Item: item, SendAt: e.now, Arrive: e.now + e.M.O + e.M.L}
 	e.inflight.push(msg)
 	e.executed.Send(from, e.now, item, to)
 	return nil
+}
+
+// checkCapacity enforces the network capacity bound ceil(L/g): a message sent
+// now occupies the network during (now+o, now+o+L]; no more than Capacity()
+// messages may be in transit from one processor, or to one processor, at any
+// instant. Violations are recorded (the message still flows) so the run stays
+// comparable with the schedule validator's post-hoc sweep.
+func (e *Engine) checkCapacity(from, to int) {
+	capN := e.M.Capacity()
+	start := e.now + e.M.O
+	end := start + e.M.L
+	ps, qs := &e.procs[from], &e.procs[to]
+	ps.outEnds = pruneEnds(ps.outEnds, start)
+	qs.inEnds = pruneEnds(qs.inEnds, start)
+	if len(ps.outEnds)+1 > capN {
+		e.violations = append(e.violations, schedule.Violation{
+			Kind: schedule.VCapacity,
+			Msg: fmt.Sprintf("sim: %d messages in transit from proc %d at time %d (capacity %d)",
+				len(ps.outEnds)+1, from, start, capN),
+		})
+	}
+	if len(qs.inEnds)+1 > capN {
+		e.violations = append(e.violations, schedule.Violation{
+			Kind: schedule.VCapacity,
+			Msg: fmt.Sprintf("sim: %d messages in transit to proc %d at time %d (capacity %d)",
+				len(qs.inEnds)+1, to, start, capN),
+		})
+	}
+	ps.outEnds = append(ps.outEnds, end)
+	qs.inEnds = append(qs.inEnds, end)
+}
+
+// pruneEnds drops leading interval ends that are at or before s. Ends are
+// appended in nondecreasing order, so the expired prefix is contiguous.
+func pruneEnds(ends []logp.Time, s logp.Time) []logp.Time {
+	i := 0
+	for i < len(ends) && ends[i] <= s {
+		i++
+	}
+	if i > 0 {
+		ends = append(ends[:0], ends[i:]...)
+	}
+	return ends
 }
 
 // TickTo advances simulation time to t, processing all arrivals and (in
@@ -283,10 +334,13 @@ func (e *Engine) processArrivals() {
 			}
 			// Receive the earliest-arrived message not yet held; duplicates
 			// (already-held items) are received too — schedules decide what
-			// they send; the engine just models the machine.
+			// they send; the engine just models the machine. The drain order
+			// uses the same total comparator as the flight heap (flightBefore)
+			// so ties on (Arrive, Item) resolve by sender, never by buffer
+			// position.
 			best := 0
 			for i := 1; i < len(ps.buffer); i++ {
-				if flightLess(ps.buffer[i], ps.buffer[best]) {
+				if flightBefore(ps.buffer[i], ps.buffer[best]) {
 					best = i
 				}
 			}
@@ -295,13 +349,6 @@ func (e *Engine) processArrivals() {
 			e.receive(msg, e.now)
 		}
 	}
-}
-
-func flightLess(a, b Msg) bool {
-	if a.Arrive != b.Arrive {
-		return a.Arrive < b.Arrive
-	}
-	return a.Item < b.Item
 }
 
 // receive performs the reception of msg beginning at time t.
@@ -339,8 +386,12 @@ func (e *Engine) anyBuffered() bool {
 	return false
 }
 
-// Violations returns the violations recorded so far.
-func (e *Engine) Violations() []schedule.Violation { return e.violations }
+// Violations returns a copy of the violations recorded so far. The copy is
+// the caller's: recycling the engine with Reset (which truncates and reuses
+// the internal slice) cannot corrupt it.
+func (e *Engine) Violations() []schedule.Violation {
+	return append([]schedule.Violation(nil), e.violations...)
+}
 
 // Executed returns a copy of the executed schedule (all sends and the recvs
 // as they actually happened).
@@ -417,11 +468,22 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 	sends := e.sendBuf[:0]
 	var horizon logp.Time
 	for _, ev := range s.Events {
-		if ev.Op == schedule.OpSend {
-			sends = append(sends, ev)
-			if ev.Time > horizon {
-				horizon = ev.Time
-			}
+		if ev.Op != schedule.OpSend {
+			continue
+		}
+		if ev.Time < 0 {
+			// The clock starts at 0; a send before then can never execute.
+			// Record it instead of silently spinning past it.
+			e.violations = append(e.violations, schedule.Violation{
+				Kind: "replay",
+				Msg: fmt.Sprintf("sim: proc %d send of item %d at negative time %d",
+					ev.Proc, ev.Item, ev.Time),
+			})
+			continue
+		}
+		sends = append(sends, ev)
+		if ev.Time > horizon {
+			horizon = ev.Time
 		}
 	}
 	sort.Slice(sends, func(i, j int) bool {
@@ -439,6 +501,15 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 	})
 	e.sendBuf = sends
 	horizon += s.M.O + s.M.L + 1
+	// Safety net against a stuck clock. Buffered drains need up to
+	// max(g, o) cycles per queued message after the last arrival, so the
+	// bound must scale with the number of sends — a per-machine constant
+	// would silently truncate long single-destination drains.
+	step := s.M.G
+	if s.M.O > step {
+		step = s.M.O
+	}
+	limit := horizon + logp.Time(len(sends)+1)*step + s.M.G + s.M.O + 2
 	i := 0
 	for {
 		for i < len(sends) && sends[i].Time == e.Now() {
@@ -453,14 +524,14 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 		if i >= len(sends) && len(e.inflight) == 0 && !e.anyBuffered() {
 			break
 		}
-		if e.Now() > horizon+logp.Time(s.M.P)*s.M.G*4 {
-			break // safety net against livelock in buffered mode
+		if e.Now() > limit {
+			break // safety net: the clock should never get this far
 		}
 		if e.Mode == Strict {
 			// Strict-mode receptions are timestamped with the message's own
 			// arrival time, never the engine clock, so idle stretches can be
 			// skipped: jump straight to the next send or arrival instant.
-			next := horizon + logp.Time(s.M.P)*s.M.G*4 + 1
+			next := limit + 1
 			if i < len(sends) {
 				next = sends[i].Time
 			}
@@ -473,7 +544,11 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 		}
 		e.Tick()
 	}
-	return Report{Finish: e.finishTime(), MaxBuffer: e.MaxBuffer(), Violations: e.violations}
+	return Report{
+		Finish:     e.finishTime(),
+		MaxBuffer:  e.MaxBuffer(),
+		Violations: append([]schedule.Violation(nil), e.violations...),
+	}
 }
 
 func (e *Engine) finishTime() logp.Time {
