@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json fuzz conform vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json trace-smoke fuzz conform vet fmt examples reproduce clean
 
 all: build test
 
@@ -21,12 +21,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark results (BENCH_1.json).
+# Machine-readable benchmark results (BENCH_3.json): wall time plus the
+# solver/sim effort counters the benchmarks report via b.ReportMetric
+# (nodes/op, prunes/op, memohits/op, events/op land in each entry's "extra").
 bench-json:
 	$(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
 		./internal/continuous/ ./internal/bench/ ./internal/sim/ \
-		| $(GO) run ./cmd/benchjson > BENCH_1.json
-	@cat BENCH_1.json
+		| $(GO) run ./cmd/benchjson > BENCH_3.json
+	@cat BENCH_3.json
+
+# Smoke-test the observability layer: compile a schedule with -trace on and
+# assert the emitted file is non-empty, Perfetto-loadable trace JSON.
+trace-smoke:
+	$(GO) run ./cmd/logpsched -op kitem -P 10 -L 3 -k 8 -trace trace-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck trace-smoke.json
+	@rm -f trace-smoke.json
 
 # Short fuzzing pass over the schedule validator and the conformance harness.
 fuzz:

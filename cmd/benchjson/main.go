@@ -4,9 +4,12 @@
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH_1.json
 //
 // Each object carries the benchmark name (with the -N GOMAXPROCS suffix
-// stripped into its own field), iteration count, ns/op, and — when -benchmem
-// was on — B/op and allocs/op. Lines that are not benchmark results are
-// ignored, so the full `go test` output can be piped in unfiltered.
+// stripped into its own field), iteration count, ns/op, the total measured
+// wall time in seconds (iterations x ns/op), and — when -benchmem was on —
+// B/op and allocs/op. Any other (value, unit) pair a benchmark reported via
+// b.ReportMetric (nodes/op, memohits/op, events/op, ...) lands verbatim in
+// the "extra" map. Lines that are not benchmark results are ignored, so the
+// full `go test` output can be piped in unfiltered.
 package main
 
 import (
@@ -19,13 +22,15 @@ import (
 )
 
 type result struct {
-	Name       string  `json:"name"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Package    string  `json:"package,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	Name       string             `json:"name"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	WallS      float64            `json:"wall_s"`
+	BytesPerOp int64              `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64              `json:"allocs_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
 func parseLine(line string) (result, bool) {
@@ -61,8 +66,14 @@ func parseLine(line string) (result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
+	r.WallS = float64(r.Iterations) * r.NsPerOp / 1e9
 	return r, r.NsPerOp > 0
 }
 

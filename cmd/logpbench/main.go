@@ -8,6 +8,10 @@
 //	logpbench -list          # list experiment ids
 //	logpbench -parallel N    # cap the worker pool at N (default GOMAXPROCS);
 //	                         # output is byte-identical for every N
+//	logpbench -all -trace run.json -metrics
+//	                         # record per-experiment wall spans and solver
+//	                         # portfolio races as a Chrome/Perfetto trace,
+//	                         # and print the metrics snapshot to stderr
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"logpopt/internal/bench"
+	"logpopt/internal/obs"
 	"logpopt/internal/par"
 )
 
@@ -60,9 +65,42 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids")
 		parallel = flag.Int("parallel", par.Limit(),
 			"worker-pool width for solver portfolios and table sweeps (default GOMAXPROCS); results are identical for any value")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace (experiment wall spans + solver portfolio) to this file")
+		metrics  = flag.Bool("metrics", false, "print the metrics snapshot to stderr before exiting")
 	)
 	flag.Parse()
 	par.SetLimit(*parallel)
+
+	// pid 5 carries one wall-clock span per experiment; pid 4 carries the
+	// solver portfolio races those experiments trigger.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		tracer.NameProcess(5, "experiments (wall µs)")
+		tracer.NameProcess(4, "solver portfolio (wall µs)")
+		par.SetTracer(tracer, 4)
+	}
+	runTraced := func(e experiment) (string, error) {
+		if tracer == nil {
+			return e.run()
+		}
+		start := tracer.Now()
+		out, err := e.run()
+		tracer.Span(5, 0, e.id, start, tracer.Now()-start, obs.A("desc", e.desc))
+		return out, err
+	}
+	finish := func() {
+		if tracer != nil {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "logpbench: trace written to %s (%d events)\n", *traceOut, tracer.Len())
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, obs.Default.Snapshot())
+		}
+	}
 	exps := experiments()
 	switch {
 	case *list:
@@ -72,22 +110,24 @@ func main() {
 	case *all:
 		for _, e := range exps {
 			fmt.Printf("### %s: %s\n\n", e.id, e.desc)
-			out, err := e.run()
+			out, err := runTraced(e)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 				os.Exit(1)
 			}
 			fmt.Println(out)
 		}
+		finish()
 	case *exp != "":
 		for _, e := range exps {
 			if e.id == *exp {
-				out, err := e.run()
+				out, err := runTraced(e)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 					os.Exit(1)
 				}
 				fmt.Println(out)
+				finish()
 				return
 			}
 		}

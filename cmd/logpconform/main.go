@@ -8,6 +8,13 @@
 // Usage:
 //
 //	logpconform [-seeds N] [-start S] [-paper=false] [-v]
+//	logpconform -trace run.json -metrics -dumpdir conform-traces
+//
+// On divergence, the minimal shrunk case is automatically replayed once per
+// backend with a flight recorder attached and the per-backend Chrome traces
+// are written under -dumpdir, so the disagreement can be inspected on a
+// Perfetto timeline. -trace records every backend replay of the whole run
+// into one file; -metrics prints the counter/histogram snapshot to stderr.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"logpopt/internal/conform"
+	"logpopt/internal/obs"
 )
 
 func main() {
@@ -23,9 +31,17 @@ func main() {
 	start := flag.Int64("start", 0, "first random seed")
 	paper := flag.Bool("paper", true, "also check every paper schedule constructor")
 	verbose := flag.Bool("v", false, "print every case as it is checked")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of every backend replay to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr before exiting")
+	dumpdir := flag.String("dumpdir", "conform-traces", "directory for per-backend trace dumps of shrunk diverging cases")
 	flag.Parse()
 
 	ck := conform.NewChecker()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ck.SetTracer(tracer)
+	}
 	checked, diverged := 0, 0
 
 	runCase := func(c conform.Case) {
@@ -54,6 +70,13 @@ func main() {
 		for _, d := range ck.Check(min) {
 			fmt.Printf("  shrunk divergence: %s\n", d)
 		}
+		paths, err := conform.DumpTraces(min, *dumpdir, min.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logpconform: trace dump failed: %v\n", err)
+		}
+		for _, p := range paths {
+			fmt.Printf("  trace dumped: %s\n", p)
+		}
 	}
 
 	if *paper {
@@ -65,6 +88,16 @@ func main() {
 		runCase(conform.Generate(seed))
 	}
 
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "logpconform: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "logpconform: trace written to %s (%d events)\n", *traceOut, tracer.Len())
+	}
+	if *metrics {
+		fmt.Fprint(os.Stderr, obs.Default.Snapshot())
+	}
 	if diverged > 0 {
 		fmt.Printf("%d of %d cases diverged\n", diverged, checked)
 		os.Exit(1)

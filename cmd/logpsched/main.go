@@ -8,6 +8,12 @@
 //	logpsched -op broadcast -P 64 -L 6 -o 2 -g 4 > bcast.json
 //	logpsched -op kitem -P 10 -L 3 -k 8 -render table
 //	logpsched -op scan -P 9 -L 3 -render svg > scan.svg
+//	logpsched -op kitem -P 10 -L 3 -k 8 -trace out.json -metrics
+//
+// -trace writes a Chrome trace-event file (open in Perfetto or
+// chrome://tracing) covering the solver portfolio and a simulated replay of
+// the compiled schedule; -metrics prints the counter/histogram snapshot to
+// stderr.
 //
 // Operations: broadcast, alltoall, personalized, scatter, gather, reduce,
 // scan, kitem (postal only), continuous (postal only).
@@ -19,20 +25,39 @@ import (
 	"os"
 
 	logpopt "logpopt"
+	"logpopt/internal/conform"
+	"logpopt/internal/obs"
+	"logpopt/internal/par"
+	"logpopt/internal/sim"
 )
 
 func main() {
 	var (
-		op     = flag.String("op", "broadcast", "collective to compile (see doc)")
-		p      = flag.Int("P", 8, "number of processors")
-		l      = flag.Int64("L", 6, "latency")
-		o      = flag.Int64("o", 2, "overhead")
-		g      = flag.Int64("g", 4, "gap")
-		postal = flag.Bool("postal", false, "postal model (forces o=0, g=1)")
-		k      = flag.Int("k", 1, "items for kitem/alltoall/continuous")
-		render = flag.String("render", "json", "output: json, gantt, table, svg")
+		op       = flag.String("op", "broadcast", "collective to compile (see doc)")
+		p        = flag.Int("P", 8, "number of processors")
+		l        = flag.Int64("L", 6, "latency")
+		o        = flag.Int64("o", 2, "overhead")
+		g        = flag.Int64("g", 4, "gap")
+		postal   = flag.Bool("postal", false, "postal model (forces o=0, g=1)")
+		k        = flag.Int("k", 1, "items for kitem/alltoall/continuous")
+		render   = flag.String("render", "json", "output: json, gantt, table, svg")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace (solver portfolio + simulated replay) to this file")
+		metrics  = flag.Bool("metrics", false, "print the metrics snapshot to stderr before exiting")
 	)
 	flag.Parse()
+
+	// The tracer sees two time bases on separate process tracks: wall-clock
+	// microseconds for the solver portfolio (pid 4) and virtual LogP cycles
+	// for the simulated replay (the simulator's default pid).
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		tracer.NameProcess(4, "solver portfolio (wall µs)")
+		par.SetTracer(tracer, 4)
+	}
+	if *metrics {
+		defer func() { fmt.Fprint(os.Stderr, obs.Default.Snapshot()) }()
+	}
 
 	var m logpopt.Machine
 	var err error
@@ -73,6 +98,22 @@ func main() {
 		}
 	default:
 		fail(fmt.Errorf("unknown op %q", *op))
+	}
+
+	if tracer != nil {
+		// Replay the compiled schedule on the strict simulator purely to
+		// record its flight: per-processor send/recv spans in virtual LogP
+		// cycles. Origins are derived generically — each item enters at its
+		// first sender at time zero — which can only make more items
+		// available, never fewer, so the replay is violation-free whenever
+		// the schedule is.
+		eng := sim.New(s.M, sim.Strict)
+		eng.Tracer = tracer
+		eng.Replay(s, conform.DerivedOrigins(s))
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "logpsched: trace written to %s (%d events)\n", *traceOut, tracer.Len())
 	}
 
 	switch *render {

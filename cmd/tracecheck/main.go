@@ -1,0 +1,66 @@
+// Command tracecheck validates Chrome trace-event JSON files: each named
+// file must parse and contain at least one trace event. It is the assertion
+// behind `make trace-smoke` — proof that the -trace flags emit something a
+// trace viewer will actually load — and exits nonzero on the first failure.
+//
+// Usage:
+//
+//	tracecheck out.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.json [file.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		n, err := check(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d trace events\n", path, n)
+	}
+}
+
+// check parses one trace file and returns its event count. Both JSON forms
+// the viewers accept are allowed: the object form {"traceEvents": [...]}
+// and the bare array form [...].
+func check(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		var arr []json.RawMessage
+		if err2 := json.Unmarshal(raw, &arr); err2 != nil {
+			return 0, fmt.Errorf("not valid trace JSON: %v", err)
+		}
+		doc.TraceEvents = arr
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("no trace events")
+	}
+	for i, ev := range doc.TraceEvents {
+		var e struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(ev, &e); err != nil {
+			return 0, fmt.Errorf("event %d malformed: %v", i, err)
+		}
+		if e.Ph == "" {
+			return 0, fmt.Errorf("event %d has no phase", i)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

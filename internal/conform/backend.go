@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"logpopt/internal/logp"
+	"logpopt/internal/obs"
 	"logpopt/internal/runtime"
 	"logpopt/internal/schedule"
 	"logpopt/internal/sim"
@@ -33,6 +34,7 @@ type Result struct {
 	Trace      *schedule.Schedule // executed (or derived) sends and recvs
 	Finish     logp.Time          // time the last availability lands
 	MaxBuffer  int                // buffer/queue high-water mark (buffered backends)
+	Stats      schedule.Stats     // per-processor breakdown (executing backends only)
 }
 
 // Clean reports whether the backend saw no violations.
@@ -46,9 +48,13 @@ type Backend interface {
 
 // SimBackend replays cases on the discrete-event simulator, recycling one
 // engine across cases (Reset + Replay reuses every internal allocation).
+// When Tracer is set, every replay appends its flight recording to it;
+// TracePID picks the process track (0 means the simulator's default).
 type SimBackend struct {
-	Mode sim.Mode
-	eng  *sim.Engine
+	Mode     sim.Mode
+	Tracer   *obs.Tracer
+	TracePID int
+	eng      *sim.Engine
 }
 
 func (b *SimBackend) Name() string {
@@ -64,6 +70,8 @@ func (b *SimBackend) Replay(c Case) Result {
 	} else {
 		b.eng.Reset(c.S.M, b.Mode)
 	}
+	b.eng.Tracer = b.Tracer
+	b.eng.TracePID = b.TracePID
 	rep := b.eng.Replay(c.S, c.Origins)
 	return Result{
 		Backend:    b.Name(),
@@ -71,12 +79,17 @@ func (b *SimBackend) Replay(c Case) Result {
 		Trace:      b.eng.Executed(),
 		Finish:     rep.Finish,
 		MaxBuffer:  rep.MaxBuffer,
+		Stats:      b.eng.Stats(),
 	}
 }
 
 // RuntimeBackend replays cases on the goroutine runtime via ReplayHandlers.
+// When Tracer is set, every replay appends its flight recording to it;
+// TracePID picks the process track (0 means the runtime's default).
 type RuntimeBackend struct {
-	Mode runtime.Mode
+	Mode     runtime.Mode
+	Tracer   *obs.Tracer
+	TracePID int
 }
 
 func (b RuntimeBackend) Name() string {
@@ -107,6 +120,8 @@ func (b RuntimeBackend) Replay(c Case) Result {
 		res.Trace = &schedule.Schedule{M: c.S.M}
 		return res
 	}
+	rt.Tracer = b.Tracer
+	rt.TracePID = b.TracePID
 	rt.Run(runtime.Horizon(c.S))
 	limit := runtime.DrainHorizon(c.S)
 	for rt.Pending() && rt.Now() < limit {
@@ -116,6 +131,7 @@ func (b RuntimeBackend) Replay(c Case) Result {
 	res.Trace = rt.Trace()
 	res.Finish = finishOf(res.Trace, c.Origins)
 	res.MaxBuffer = rt.MaxQueue()
+	res.Stats = rt.Stats(res.Finish)
 	return res
 }
 

@@ -3,10 +3,20 @@ package conform
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"logpopt/internal/obs"
 	"logpopt/internal/runtime"
 	"logpopt/internal/schedule"
 	"logpopt/internal/sim"
+)
+
+// Harness metrics: how many cases ran, how many diverged, and how long each
+// backend takes to replay one (the histogram exposes which implementation
+// dominates a slow conformance sweep).
+var (
+	mCases       = obs.Default.Counter("conform.cases")
+	mDivergences = obs.Default.Counter("conform.divergences")
 )
 
 // Checker replays cases on all five backends and diffs the results. One
@@ -18,15 +28,49 @@ type Checker struct {
 	rtStrict  RuntimeBackend
 	rtBuf     RuntimeBackend
 	validator ValidatorBackend
+	replayUS  map[string]*obs.Histogram // per-backend replay wall time (µs)
 }
 
 func NewChecker() *Checker {
-	return &Checker{
+	ck := &Checker{
 		simStrict: &SimBackend{Mode: sim.Strict},
 		simBuf:    &SimBackend{Mode: sim.Buffered},
 		rtStrict:  RuntimeBackend{Mode: runtime.Strict},
 		rtBuf:     RuntimeBackend{Mode: runtime.Buffered},
 	}
+	ck.replayUS = make(map[string]*obs.Histogram)
+	for _, name := range []string{
+		ck.simStrict.Name(), ck.simBuf.Name(),
+		ck.rtStrict.Name(), ck.rtBuf.Name(), ck.validator.Name(),
+	} {
+		ck.replayUS[name] = obs.Default.Histogram("conform.replay.us." + name)
+	}
+	return ck
+}
+
+// SetTracer attaches one shared flight recorder to every executing backend,
+// each on its own process track (pid 1-4) so a whole conformance run lands
+// in a single Perfetto-loadable file. Pass nil to detach.
+func (ck *Checker) SetTracer(tr *obs.Tracer) {
+	ck.simStrict.Tracer, ck.simStrict.TracePID = tr, 1
+	ck.simBuf.Tracer, ck.simBuf.TracePID = tr, 2
+	ck.rtStrict.Tracer, ck.rtStrict.TracePID = tr, 3
+	ck.rtBuf.Tracer, ck.rtBuf.TracePID = tr, 4
+	if tr != nil {
+		tr.NameProcess(1, "sim-strict")
+		tr.NameProcess(2, "sim-buffered")
+		tr.NameProcess(3, "runtime-strict")
+		tr.NameProcess(4, "runtime-buffered")
+	}
+}
+
+// replay runs one backend and records its wall time in the per-backend
+// histogram.
+func (ck *Checker) replay(b Backend, c Case) Result {
+	start := time.Now()
+	r := b.Replay(c)
+	ck.replayUS[r.Backend].Observe(time.Since(start).Microseconds())
+	return r
 }
 
 // Check replays the case on every backend and returns a description of each
@@ -45,16 +89,25 @@ func NewChecker() *Checker {
 //     trace passes ValidateDeferred + CheckAvailability.
 //   - Clean in both modes: the buffered trace equals the strict trace (an
 //     uncontended schedule must not behave differently under queueing).
+//   - Clean cases: within each executing pair (sim vs runtime, per mode) the
+//     per-processor Stats breakdown — sends, receives, busy and idle cycles,
+//     and (buffered only) queue high-water marks — must agree field for
+//     field.
 //   - Always: the simulator's reported Finish must equal the finish time
 //     recomputed independently from its own trace.
-func (ck *Checker) Check(c Case) []string {
-	simS := ck.simStrict.Replay(c)
-	rtS := ck.rtStrict.Replay(c)
-	val := ck.validator.Replay(c)
-	simB := ck.simBuf.Replay(c)
-	rtB := ck.rtBuf.Replay(c)
+func (ck *Checker) Check(c Case) (diffs []string) {
+	mCases.Inc()
+	defer func() {
+		if len(diffs) > 0 {
+			mDivergences.Inc()
+		}
+	}()
+	simS := ck.replay(ck.simStrict, c)
+	rtS := ck.replay(ck.rtStrict, c)
+	val := ck.replay(ck.validator, c)
+	simB := ck.replay(ck.simBuf, c)
+	rtB := ck.replay(ck.rtBuf, c)
 
-	var diffs []string
 	add := func(format string, args ...any) {
 		diffs = append(diffs, fmt.Sprintf(format, args...))
 	}
@@ -96,6 +149,13 @@ func (ck *Checker) Check(c Case) []string {
 				add("strict finish: %s=%d, %s=%d", simS.Backend, simS.Finish, r.Backend, r.Finish)
 			}
 		}
+		// Queue marks are excluded in strict mode: the runtime routes
+		// simultaneous arrivals through its queue within a step (so its
+		// high-water counts coincident messages) while the simulator never
+		// buffers in strict mode.
+		if msg := statsDiff(simS.Stats, rtS.Stats, false); msg != "" {
+			add("strict stats: sim vs runtime: %s", msg)
+		}
 	}
 	if simB.Clean() {
 		if msg := traceDiff(simB.Trace, rtB.Trace); msg != "" {
@@ -106,6 +166,9 @@ func (ck *Checker) Check(c Case) []string {
 		}
 		if simB.MaxBuffer != rtB.MaxBuffer {
 			add("buffer high-water: sim MaxBuffer=%d, runtime MaxQueue=%d", simB.MaxBuffer, rtB.MaxBuffer)
+		}
+		if msg := statsDiff(simB.Stats, rtB.Stats, true); msg != "" {
+			add("buffered stats: sim vs runtime: %s", msg)
 		}
 		vs := schedule.ValidateDeferred(simB.Trace)
 		vs = append(vs, schedule.CheckAvailability(simB.Trace, c.Origins)...)
@@ -129,6 +192,39 @@ func (ck *Checker) Check(c Case) []string {
 // Diverges reports whether the case violates the contract. It is the
 // predicate the shrinker minimizes against.
 func (ck *Checker) Diverges(c Case) bool { return len(ck.Check(c)) > 0 }
+
+// statsDiff compares two Stats breakdowns and describes the first
+// disagreement ("" when equal). queues controls whether the per-processor
+// and aggregate queue high-water marks participate: they are comparable only
+// between the buffered backends (see Check).
+func statsDiff(a, b schedule.Stats, queues bool) string {
+	if a.Sends != b.Sends || a.Recvs != b.Recvs {
+		return fmt.Sprintf("sends/recvs (%d,%d) vs (%d,%d)", a.Sends, a.Recvs, b.Sends, b.Recvs)
+	}
+	if a.BusyCycles != b.BusyCycles {
+		return fmt.Sprintf("busy cycles %d vs %d", a.BusyCycles, b.BusyCycles)
+	}
+	if a.Span != b.Span || a.PortUtilFinish != b.PortUtilFinish {
+		return fmt.Sprintf("span/util (%d,%v) vs (%d,%v)", a.Span, a.PortUtilFinish, b.Span, b.PortUtilFinish)
+	}
+	if queues && a.MaxQueue != b.MaxQueue {
+		return fmt.Sprintf("queue high-water %d vs %d", a.MaxQueue, b.MaxQueue)
+	}
+	if len(a.PerProc) != len(b.PerProc) {
+		return fmt.Sprintf("per-proc lengths %d vs %d", len(a.PerProc), len(b.PerProc))
+	}
+	for p := range a.PerProc {
+		ap, bp := a.PerProc[p], b.PerProc[p]
+		if ap.Sends != bp.Sends || ap.Recvs != bp.Recvs ||
+			ap.BusyCycles != bp.BusyCycles || ap.IdleCycles != bp.IdleCycles {
+			return fmt.Sprintf("P%d: %+v vs %+v", p, ap, bp)
+		}
+		if queues && ap.MaxQueue != bp.MaxQueue {
+			return fmt.Sprintf("P%d queue high-water %d vs %d", p, ap.MaxQueue, bp.MaxQueue)
+		}
+	}
+	return ""
+}
 
 // traceDiff compares two executed schedules event-by-event under a full
 // deterministic order and describes the first difference ("" when equal).

@@ -1,0 +1,71 @@
+package conform
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDumpTraces dumps a paper case and checks one valid, non-empty Chrome
+// trace JSON file appears per backend, with filenames safe for the case
+// name's slashes.
+func TestDumpTraces(t *testing.T) {
+	dir := t.TempDir()
+	c := PaperCases()[0] // "broadcast/..." — name contains a slash
+	paths, err := DumpTraces(c, dir, c.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("dumped %d files, want 5 (one per backend): %v", len(paths), paths)
+	}
+	wantSuffixes := []string{
+		"sim-strict.json", "sim-buffered.json",
+		"runtime-strict.json", "runtime-buffered.json", "validator.json",
+	}
+	for i, p := range paths {
+		if filepath.Dir(p) != dir {
+			t.Errorf("%s escaped the dump dir", p)
+		}
+		if strings.ContainsAny(filepath.Base(p), "/\\ ") {
+			t.Errorf("unsanitized filename %q", filepath.Base(p))
+		}
+		if !strings.HasSuffix(p, wantSuffixes[i]) {
+			t.Errorf("path %d = %q, want suffix %q", i, p, wantSuffixes[i])
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", p, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s: empty trace", p)
+		}
+	}
+}
+
+// TestCheckerMetrics checks the harness counters move when cases run and
+// when the shrinker works a diverging case.
+func TestCheckerMetrics(t *testing.T) {
+	cases0, trials0 := mCases.Value(), mShrinkTrials.Value()
+	ck := NewChecker()
+	c := PaperCases()[0]
+	if diffs := ck.Check(c); len(diffs) != 0 {
+		t.Fatalf("paper case diverged: %v", diffs)
+	}
+	if got := mCases.Value(); got != cases0+1 {
+		t.Errorf("conform.cases went %d -> %d, want +1", cases0, got)
+	}
+	// A synthetic always-diverging predicate forces shrink trials.
+	Shrink(c, func(Case) bool { return true })
+	if got := mShrinkTrials.Value(); got <= trials0 {
+		t.Errorf("conform.shrink.trials did not move (still %d)", got)
+	}
+}

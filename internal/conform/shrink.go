@@ -1,7 +1,15 @@
 package conform
 
 import (
+	"logpopt/internal/obs"
 	"logpopt/internal/schedule"
+)
+
+// Shrinker metrics: trials counts predicate evaluations (each one replays
+// the candidate on all five backends), steps counts accepted reductions.
+var (
+	mShrinkTrials = obs.Default.Counter("conform.shrink.trials")
+	mShrinkSteps  = obs.Default.Counter("conform.shrink.steps")
 )
 
 // Shrink minimizes a diverging case while the predicate keeps holding: it
@@ -11,6 +19,14 @@ import (
 // process can reach that still satisfies diverges — typically a handful of
 // events that make a divergence readable.
 func Shrink(c Case, diverges func(Case) bool) Case {
+	try := func(cand Case) bool {
+		mShrinkTrials.Inc()
+		if !diverges(cand) {
+			return false
+		}
+		mShrinkSteps.Inc()
+		return true
+	}
 	if !diverges(c) {
 		return c
 	}
@@ -19,7 +35,7 @@ func Shrink(c Case, diverges func(Case) bool) Case {
 		shrunk := false
 		for i := len(cur.S.Events) - 1; i >= 0; i-- {
 			cand := dropEvent(cur, i)
-			if diverges(cand) {
+			if try(cand) {
 				cur = cand
 				shrunk = true
 			}
@@ -28,10 +44,10 @@ func Shrink(c Case, diverges func(Case) bool) Case {
 			break
 		}
 	}
-	if cand, changed := dropUnusedOrigins(cur); changed && diverges(cand) {
+	if cand, changed := dropUnusedOrigins(cur); changed && try(cand) {
 		cur = cand
 	}
-	if cand, changed := reduceP(cur); changed && diverges(cand) {
+	if cand, changed := reduceP(cur); changed && try(cand) {
 		cur = cand
 	}
 	cur.Name = c.Name + "-shrunk"

@@ -3,6 +3,16 @@ package continuous
 import (
 	"sort"
 	"sync"
+
+	"logpopt/internal/obs"
+)
+
+// Memoization metrics: a high hit count on a slow sweep means repeat solves
+// are served from cache and the cost is elsewhere; a high miss count with a
+// high continuous.search.nodes count points at the portfolio itself.
+var (
+	mMemoHits   = obs.Default.Counter("continuous.memo.hits")
+	mMemoMisses = obs.Default.Counter("continuous.memo.misses")
 )
 
 // This file holds the package-level memoization layer. Sweeps (the bench
@@ -89,9 +99,11 @@ func solveCached(inst *Instance, budgets []int64, seeds int, strong bool) ([]idx
 	solveMu.Lock()
 	if v, ok := solveMemo[key]; ok {
 		solveMu.Unlock()
+		mMemoHits.Inc()
 		return v.words, v.recv, v.err
 	}
 	solveMu.Unlock()
+	mMemoMisses.Inc()
 	words, recv, err := solvePortfolio(inst, budgets, seeds, strong)
 	solveMu.Lock()
 	solveMemo[key] = solveVal{words: words, recv: recv, err: err}

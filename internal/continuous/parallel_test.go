@@ -118,8 +118,11 @@ func TestSolveConcurrentSameKey(t *testing.T) {
 
 // BenchmarkSolverPortfolio measures a cold base-case sweep (3 <= L <= 10,
 // L <= t <= 2L): every iteration clears the memo caches, so the portfolio
-// search itself is timed, not the cache hit.
+// search itself is timed, not the cache hit. Search-effort counters are
+// reported per op so regressions in pruning show up alongside wall time.
 func BenchmarkSolverPortfolio(b *testing.B) {
+	nodes0 := mSearchNodes.Value()
+	prunes0 := mSearchPrunes.Value()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		resetCaches()
@@ -135,11 +138,14 @@ func BenchmarkSolverPortfolio(b *testing.B) {
 			}
 		}
 	}
+	b.ReportMetric(float64(mSearchNodes.Value()-nodes0)/float64(b.N), "nodes/op")
+	b.ReportMetric(float64(mSearchPrunes.Value()-prunes0)/float64(b.N), "prunes/op")
 }
 
 // BenchmarkSolverMemoized measures the same sweep served from the package
 // memo cache (the steady state inside table sweeps and schedule builders).
 func BenchmarkSolverMemoized(b *testing.B) {
+	hits0 := mMemoHits.Value()
 	b.ReportAllocs()
 	resetCaches()
 	for i := 0; i < b.N; i++ {
@@ -155,6 +161,7 @@ func BenchmarkSolverMemoized(b *testing.B) {
 			}
 		}
 	}
+	b.ReportMetric(float64(mMemoHits.Value()-hits0)/float64(b.N), "memohits/op")
 }
 
 // TestSolveInfeasibleConcurrent checks that ErrNoSolution (an exhaustive

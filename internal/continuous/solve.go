@@ -4,7 +4,17 @@ import (
 	"errors"
 	"fmt"
 
+	"logpopt/internal/obs"
 	"logpopt/internal/par"
+)
+
+// Search metrics. Per the obs overhead discipline, the backtracking hot loop
+// tallies into plain baseSearch fields; solveBase flushes one atomic add per
+// counter per run.
+var (
+	mSearchRuns   = obs.Default.Counter("continuous.search.runs")
+	mSearchNodes  = obs.Default.Counter("continuous.search.nodes")
+	mSearchPrunes = obs.Default.Counter("continuous.search.prunes")
 )
 
 // Sentinel errors distinguishing "ran out of search budget" (retrying with a
@@ -146,6 +156,7 @@ type baseSearch struct {
 	letters []int
 	budget  int64
 	steps   int64
+	prunes  int64 // residue/sum-pruned branches, flushed to obs by solveBase
 	stop    *par.Stop
 	stopped bool
 
@@ -201,6 +212,7 @@ func (s *baseSearch) fill(oi, bi, p int, prev idxWord) bool {
 		}
 		res := row[i]
 		if seen[res] {
+			s.prunes++
 			continue
 		}
 		childPrev := prev
@@ -213,6 +225,7 @@ func (s *baseSearch) fill(oi, bi, p int, prev idxWord) bool {
 			}
 		}
 		if s.sumPruned(i) {
+			s.prunes++
 			continue
 		}
 		w[p-1] = i
@@ -410,7 +423,11 @@ func solveBase(inst *Instance, opts solveOpts) ([]idxWord, int, error) {
 		s.seenTab[bi] = seen
 	}
 
-	if !s.solveFrom(0) {
+	solved := s.solveFrom(0)
+	mSearchRuns.Inc()
+	mSearchNodes.Add(s.steps)
+	mSearchPrunes.Add(s.prunes)
+	if !solved {
 		if s.stopped {
 			return nil, 0, errCanceled
 		}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric that also remembers its high-water mark.
+type Gauge struct {
+	v, max atomic.Int64
+}
+
+// Set stores v and raises the high-water mark if needed (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram counts observations in power-of-two buckets: bucket i holds
+// values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Values < 0
+// land in bucket 0. Good enough to see the shape of wait times and replay
+// durations without configuring bucket bounds.
+type Histogram struct {
+	mu         sync.Mutex
+	count, sum int64
+	buckets    [65]int64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry holds named metrics. Lookup methods create on first use and
+// always return the same handle for a name, so call sites can cache handles
+// in package vars. A nil *Registry returns nil handles, whose methods are
+// all no-ops — the whole chain is safe with observability off.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry. Library packages register their
+// metrics here so the CLIs can print one unified snapshot with -metrics.
+// Collection is always on: handles are atomics and hot paths flush
+// aggregated deltas, so the cost without a consumer is a few atomic adds
+// per operation (not per inner-loop node).
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every registered metric as text, one per line, sorted by
+// kind then name — deterministic for a given sequence of recorded values, so
+// tests can diff snapshots directly.
+func (r *Registry) Snapshot() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	names := func(m any) []string {
+		var ns []string
+		switch mm := m.(type) {
+		case map[string]*Counter:
+			for n := range mm {
+				ns = append(ns, n)
+			}
+		case map[string]*Gauge:
+			for n := range mm {
+				ns = append(ns, n)
+			}
+		case map[string]*Histogram:
+			for n := range mm {
+				ns = append(ns, n)
+			}
+		}
+		sort.Strings(ns)
+		return ns
+	}
+	cns, gns, hns := names(r.counters), names(r.gauges), names(r.hists)
+	counters, gauges, hists := r.counters, r.gauges, r.hists
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, n := range cns {
+		fmt.Fprintf(&b, "counter %s %d\n", n, counters[n].Value())
+	}
+	for _, n := range gns {
+		g := gauges[n]
+		fmt.Fprintf(&b, "gauge %s value=%d max=%d\n", n, g.Value(), g.Max())
+	}
+	for _, n := range hns {
+		h := hists[n]
+		h.mu.Lock()
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%d", n, h.count, h.sum)
+		for i, c := range h.buckets {
+			if c != 0 {
+				fmt.Fprintf(&b, " b%d:%d", i, c)
+			}
+		}
+		h.mu.Unlock()
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Reset zeroes every registered metric (handles stay valid). Benchmarks use
+// it to measure deltas from a clean slate.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+		g.max.Store(0)
+	}
+	for _, h := range r.hists {
+		h.mu.Lock()
+		h.count, h.sum = 0, 0
+		h.buckets = [65]int64{}
+		h.mu.Unlock()
+	}
+}

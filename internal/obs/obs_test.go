@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every Tracer and metrics method on nil receivers;
+// the contract is that instrumented code never needs a non-nil check beyond
+// skipping argument construction.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Span(1, 2, "s", 0, 5, A("k", "v"))
+	tr.Instant(1, 2, "i", 3)
+	tr.Counter(1, "c", 4, 7)
+	tr.NameProcess(1, "p")
+	tr.NameThread(1, 2, "t")
+	if tr.Now() != 0 || tr.Len() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Fatalf("nil tracer JSON = %q", sb.String())
+	}
+
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	c.Add(3)
+	c.Inc()
+	g.Set(9)
+	h.Observe(4)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil registry handles not inert")
+	}
+	if r.Snapshot() != "" {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	r.Reset()
+}
+
+// TestTracerJSON checks the emitted trace is valid JSON in Chrome
+// trace-event object form with the recorded fields, and byte-deterministic.
+func TestTracerJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(1, "sim")
+	tr.NameThread(1, 0, "P0")
+	tr.Span(1, 0, `send "x"`, 10, 2, A("item", 3), A("to", 1))
+	tr.Instant(1, 0, "violation", 12, A("kind", "gap"))
+	tr.Counter(1, "inflight", 12, 4)
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, got)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[2]
+	if span["ph"] != "X" || span["dur"] != float64(2) || span["ts"] != float64(10) {
+		t.Fatalf("span event %+v", span)
+	}
+	if span["name"] != `send "x"` {
+		t.Fatalf("span name %q: quote escaping broken", span["name"])
+	}
+	args := span["args"].(map[string]any)
+	if args["item"] != float64(3) || args["to"] != float64(1) {
+		t.Fatalf("span args %+v", args)
+	}
+	if doc.TraceEvents[4]["ph"] != "C" {
+		t.Fatalf("counter event %+v", doc.TraceEvents[4])
+	}
+
+	var sb2 strings.Builder
+	if err := tr.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Fatal("WriteJSON not deterministic across calls")
+	}
+}
+
+// TestSnapshotDeterministic records the same metrics into two registries and
+// demands identical snapshots, plus the expected sorted shape.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b.count").Add(2)
+		r.Counter("a.count").Add(5)
+		r.Gauge("q.depth").Set(3)
+		r.Gauge("q.depth").Set(1)
+		r.Histogram("wait").Observe(0)
+		r.Histogram("wait").Observe(5)
+		r.Histogram("wait").Observe(1000)
+		return r
+	}
+	s1, s2 := build().Snapshot(), build().Snapshot()
+	if s1 != s2 {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", s1, s2)
+	}
+	want := "counter a.count 5\n" +
+		"counter b.count 2\n" +
+		"gauge q.depth value=1 max=3\n" +
+		"histogram wait count=3 sum=1005 b0:1 b3:1 b10:1\n"
+	if s1 != want {
+		t.Fatalf("snapshot:\n%s\nwant:\n%s", s1, want)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race this is the data-race check, and the final counts must add up.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const gs, per = 8, 1000
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(int64(i % 7))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := r.Counter("n").Value(); v != gs*per {
+		t.Fatalf("counter %d, want %d", v, gs*per)
+	}
+	if h := r.Histogram("h"); h.Count() != gs*per {
+		t.Fatalf("histogram count %d, want %d", h.Count(), gs*per)
+	}
+	if mx := r.Gauge("g").Max(); mx != per-1 {
+		t.Fatalf("gauge max %d, want %d", mx, per-1)
+	}
+	r.Reset()
+	if r.Counter("n").Value() != 0 || r.Gauge("g").Max() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("Reset left values behind")
+	}
+}
+
+// TestTracerConcurrent checks concurrent recording is race-free and loses
+// nothing.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const gs, per = 8, 500
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Span(g, i%4, "work", int64(i), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != gs*per {
+		t.Fatalf("tracer has %d events, want %d", tr.Len(), gs*per)
+	}
+}

@@ -14,7 +14,44 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"logpopt/internal/obs"
 )
+
+// Portfolio metrics: how many races ran and how each attempt ended. The
+// "stopped" count is the cancellation win — work a sequential loop would
+// have done that the portfolio skipped or cut short.
+var (
+	mRaces    = obs.Default.Counter("par.portfolio.races")
+	mHits     = obs.Default.Counter("par.portfolio.hits")
+	mMisses   = obs.Default.Counter("par.portfolio.misses")
+	mAborts   = obs.Default.Counter("par.portfolio.aborts")
+	mStopped  = obs.Default.Counter("par.portfolio.stopped")
+	mAttempts = obs.Default.Counter("par.portfolio.attempts")
+)
+
+// traceConfig is the optional portfolio tracer, swapped atomically so races
+// already in flight keep a consistent view.
+type traceConfig struct {
+	tr  *obs.Tracer
+	pid int
+}
+
+var traceCfg atomic.Pointer[traceConfig]
+
+// SetTracer attaches tr to every subsequent Portfolio race: each attempt
+// becomes a wall-clock span on its own track (tid = attempt index) under
+// pid, annotated with its outcome — hit, miss, abort, or stopped (cancelled
+// by a lower-index hit) — and the race itself becomes a span on tid = n
+// with the winner recorded. Pass nil to detach. Tracing changes no
+// scheduling decision; the winner is identical with it on or off.
+func SetTracer(tr *obs.Tracer, pid int) {
+	if tr == nil {
+		traceCfg.Store(nil)
+		return
+	}
+	traceCfg.Store(&traceConfig{tr: tr, pid: pid})
+}
 
 // limit is the process-wide default parallelism for pools started without an
 // explicit width. It defaults to GOMAXPROCS and is settable (cmd/logpbench
@@ -134,13 +171,35 @@ func Portfolio(n int, attempt func(i int, stop *Stop) Outcome) (winner int, abor
 	ceiling.Store(int64(n))
 	var mu sync.Mutex
 	outcomes := make([]Outcome, n)
+	cfg := traceCfg.Load()
+	var raceStart int64
+	if cfg != nil {
+		raceStart = cfg.tr.Now()
+	}
+	mRaces.Inc()
+	mAttempts.Add(int64(n))
 	run := func(i int) {
 		st := &Stop{ceiling: &ceiling, index: i}
 		if st.Stopped() {
+			mStopped.Inc()
+			if cfg != nil {
+				cfg.tr.Instant(cfg.pid, i, "attempt", cfg.tr.Now(),
+					obs.A("index", i), obs.A("outcome", "stopped-before-start"))
+			}
 			return // outcome stays Miss; a stopped attempt cannot win
+		}
+		var start int64
+		if cfg != nil {
+			start = cfg.tr.Now()
 		}
 		o := attempt(i, st)
 		if st.Stopped() {
+			mStopped.Inc()
+			if cfg != nil {
+				now := cfg.tr.Now()
+				cfg.tr.Span(cfg.pid, i, "attempt", start, now-start,
+					obs.A("index", i), obs.A("outcome", "stopped"))
+			}
 			return // result arrived after cancellation; discard
 		}
 		mu.Lock()
@@ -148,6 +207,7 @@ func Portfolio(n int, attempt func(i int, stop *Stop) Outcome) (winner int, abor
 		mu.Unlock()
 		switch o {
 		case Hit:
+			mHits.Inc()
 			for {
 				cur := ceiling.Load()
 				if cur <= int64(i)+1 || ceiling.CompareAndSwap(cur, int64(i)+1) {
@@ -155,17 +215,34 @@ func Portfolio(n int, attempt func(i int, stop *Stop) Outcome) (winner int, abor
 				}
 			}
 		case Abort:
+			mAborts.Inc()
 			ceiling.Store(0)
+		default:
+			mMisses.Inc()
+		}
+		if cfg != nil {
+			now := cfg.tr.Now()
+			name := [...]string{Miss: "miss", Hit: "hit", Abort: "abort"}[o]
+			cfg.tr.Span(cfg.pid, i, "attempt", start, now-start,
+				obs.A("index", i), obs.A("outcome", name))
 		}
 	}
 	ForEach(n, run)
+	winner, aborted = -1, false
 	for i := 0; i < n; i++ {
-		switch outcomes[i] {
-		case Abort:
-			return i, true
-		case Hit:
-			return i, false
+		if outcomes[i] == Abort {
+			winner, aborted = i, true
+			break
+		}
+		if outcomes[i] == Hit {
+			winner = i
+			break
 		}
 	}
-	return -1, false
+	if cfg != nil {
+		now := cfg.tr.Now()
+		cfg.tr.Span(cfg.pid, n, "portfolio", raceStart, now-raceStart,
+			obs.A("attempts", n), obs.A("winner", winner), obs.A("aborted", aborted))
+	}
+	return winner, aborted
 }

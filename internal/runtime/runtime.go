@@ -27,7 +27,19 @@ import (
 	"sync"
 
 	"logpopt/internal/logp"
+	"logpopt/internal/obs"
 	"logpopt/internal/schedule"
+)
+
+// Package-level metric handles. All updates happen in the coordinator's
+// single-threaded sections (delivery and outbox collection), a handful of
+// atomic adds per step, never inside the handler goroutines' hot work.
+var (
+	mSends       = obs.Default.Counter("runtime.sends")
+	mRecvs       = obs.Default.Counter("runtime.recvs")
+	mSteps       = obs.Default.Counter("runtime.steps")
+	mPortWait    = obs.Default.Histogram("runtime.portwait.cycles")
+	gPendingHigh = obs.Default.Gauge("runtime.pending")
 )
 
 // Message is a payload-carrying message between processors.
@@ -119,6 +131,15 @@ type Handler func(p *Proc, now logp.Time)
 
 // Runtime executes P handlers in barrier-synchronized virtual time.
 type Runtime struct {
+	// Tracer, when non-nil, records a flight recorder of the run on
+	// per-processor tracks (send/recv overhead spans with port-wait
+	// annotations, in-flight and queued counters). Timestamps are virtual
+	// cycles. TracePID selects the trace process id (defaults to 2 so a
+	// runtime overlays cleanly with a simulator engine in one file). Set
+	// both before the first Step.
+	Tracer   *obs.Tracer
+	TracePID int
+
 	m          logp.Machine
 	mode       Mode
 	procs      []*Proc
@@ -171,8 +192,27 @@ func (rt *Runtime) Now() logp.Time { return rt.now }
 // Step advances one virtual time step: delivers arrivals, runs all handlers
 // concurrently, then collects outboxes and merges recorded violations in
 // processor order.
+// tracePID returns the pid used for this runtime's trace tracks.
+func (rt *Runtime) tracePID() int {
+	if rt.TracePID != 0 {
+		return rt.TracePID
+	}
+	return 2
+}
+
 func (rt *Runtime) Step() {
 	now := rt.now
+	if rt.Tracer != nil && now == 0 {
+		pid := rt.tracePID()
+		mode := "strict"
+		if rt.mode == Buffered {
+			mode = "buffered"
+		}
+		rt.Tracer.NameProcess(pid, fmt.Sprintf("runtime-%s %v", mode, rt.m))
+		for p := 0; p < rt.m.P; p++ {
+			rt.Tracer.NameThread(pid, p, fmt.Sprintf("P%d", p))
+		}
+	}
 	// Deliver arrivals due now.
 	rest := rt.inflight[:0]
 	for _, msg := range rt.inflight {
@@ -243,15 +283,33 @@ func (rt *Runtime) Step() {
 	}
 	wg.Wait()
 	// Collect outboxes and violations in processor order (determinism).
+	var nSends int64
 	for _, p := range rt.procs {
 		for _, msg := range p.outbox {
 			rt.checkCapacity(msg.From, msg.To, msg.SentAt)
 			rt.inflight = append(rt.inflight, msg)
 			rt.trace.Send(msg.From, msg.SentAt, msg.Item, msg.To)
+			nSends++
+			if rt.Tracer != nil {
+				rt.Tracer.Span(rt.tracePID(), msg.From, "send", int64(msg.SentAt), int64(rt.m.O),
+					obs.A("item", msg.Item), obs.A("to", msg.To))
+			}
 		}
 		p.outbox = p.outbox[:0]
 		rt.violations = append(rt.violations, p.pending...)
 		p.pending = p.pending[:0]
+	}
+	mSends.Add(nSends)
+	mSteps.Inc()
+	pending := int64(len(rt.inflight))
+	for _, p := range rt.procs {
+		pending += int64(len(p.queue))
+	}
+	gPendingHigh.Set(pending)
+	if rt.Tracer != nil {
+		pid := rt.tracePID()
+		rt.Tracer.Counter(pid, "inflight", int64(now), int64(len(rt.inflight)))
+		rt.Tracer.Counter(pid, "pending", int64(now), pending)
 	}
 	rt.now++
 }
@@ -302,6 +360,13 @@ func (rt *Runtime) deliver(p *Proc, msg Message, now logp.Time) {
 	}
 	p.inboxThisStep = append(p.inboxThisStep, msg)
 	rt.trace.Recv(p.ID, now, msg.Item, msg.From)
+	mRecvs.Inc()
+	mPortWait.Observe(int64(now - msg.Arrive))
+	if rt.Tracer != nil {
+		rt.Tracer.Span(rt.tracePID(), p.ID, "recv", int64(now), int64(rt.m.O),
+			obs.A("item", msg.Item), obs.A("from", msg.From),
+			obs.A("waited", int64(now-msg.Arrive)))
+	}
 }
 
 // Run executes steps until the virtual clock reaches until (exclusive).
@@ -364,4 +429,26 @@ func (rt *Runtime) MaxQueue() int {
 		}
 	}
 	return mx
+}
+
+// ProcMaxQueues returns the receive-queue high-water mark per processor.
+// Note that in Strict mode arrivals pass through the queue within the
+// delivery step, so the high-water counts simultaneous arrivals (the
+// simulator's Strict buffers are always 0 — compare queue marks only
+// between buffered backends).
+func (rt *Runtime) ProcMaxQueues() []int {
+	mq := make([]int, len(rt.procs))
+	for i, p := range rt.procs {
+		mq[i] = p.maxQueue
+	}
+	return mq
+}
+
+// Stats computes port-activity statistics from the executed trace via the
+// shared schedule.ComputeStats — the parity method to sim.Engine.Stats, so
+// the conformance harness can diff the two field by field. The runtime has
+// no origin table, so the caller supplies the span (finish time); pass the
+// finish recomputed from Trace() and the case's origins.
+func (rt *Runtime) Stats(span logp.Time) schedule.Stats {
+	return schedule.ComputeStats(rt.trace, span, rt.ProcMaxQueues())
 }

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/obs"
+	"logpopt/internal/sim"
+)
+
+// TestStatsParityWithSim replays the same broadcast schedule on the
+// simulator and the runtime and demands the shared Stats shape agrees field
+// for field — the parity contract the conformance harness diffs.
+func TestStatsParityWithSim(t *testing.T) {
+	m := logp.MustNew(8, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	origins := core.Origins(0)
+
+	eng, rep := sim.Run(s, sim.Strict, origins)
+	simStats := eng.Stats()
+
+	rt, err := New(m, Strict, ReplayHandlers(s, origins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(Horizon(s))
+	for rt.Pending() && rt.Now() < DrainHorizon(s) {
+		rt.Step()
+	}
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Fatal(vs)
+	}
+	rtStats := rt.Stats(rep.Finish)
+
+	if simStats.Sends != rtStats.Sends || simStats.Recvs != rtStats.Recvs {
+		t.Fatalf("event counts: sim (%d,%d) vs runtime (%d,%d)",
+			simStats.Sends, simStats.Recvs, rtStats.Sends, rtStats.Recvs)
+	}
+	if simStats.BusyCycles != rtStats.BusyCycles {
+		t.Fatalf("busy cycles: sim %d vs runtime %d", simStats.BusyCycles, rtStats.BusyCycles)
+	}
+	if simStats.Span != rtStats.Span || simStats.PortUtilFinish != rtStats.PortUtilFinish {
+		t.Fatalf("span/util: sim (%d,%v) vs runtime (%d,%v)",
+			simStats.Span, simStats.PortUtilFinish, rtStats.Span, rtStats.PortUtilFinish)
+	}
+	if len(simStats.PerProc) != len(rtStats.PerProc) {
+		t.Fatalf("per-proc lengths differ: %d vs %d", len(simStats.PerProc), len(rtStats.PerProc))
+	}
+	for p := range simStats.PerProc {
+		sp, rp := simStats.PerProc[p], rtStats.PerProc[p]
+		if sp.Sends != rp.Sends || sp.Recvs != rp.Recvs || sp.BusyCycles != rp.BusyCycles || sp.IdleCycles != rp.IdleCycles {
+			t.Errorf("P%d: sim %+v vs runtime %+v", p, sp, rp)
+		}
+	}
+}
+
+// TestRuntimeTracer checks the runtime's flight recorder emits spans for
+// every send and reception.
+func TestRuntimeTracer(t *testing.T) {
+	m := logp.MustNew(8, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	rt, err := New(m, Strict, ReplayHandlers(s, core.Origins(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Tracer = obs.NewTracer()
+	rt.Run(Horizon(s))
+	for rt.Pending() && rt.Now() < DrainHorizon(s) {
+		rt.Step()
+	}
+	if rt.Tracer.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	tr := rt.Trace()
+	if len(tr.Events) != 14 {
+		t.Fatalf("trace has %d events, want 14", len(tr.Events))
+	}
+}

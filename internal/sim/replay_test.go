@@ -79,6 +79,7 @@ func BenchmarkSimReplayFresh(b *testing.B) {
 	m := logp.MustNew(32, 6, 2, 4)
 	s := core.BroadcastSchedule(m, 0)
 	og := core.Origins(0)
+	events0 := mEvents.Value()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -87,6 +88,7 @@ func BenchmarkSimReplayFresh(b *testing.B) {
 			b.Fatal(rep.Violations)
 		}
 	}
+	b.ReportMetric(float64(mEvents.Value()-events0)/float64(b.N), "events/op")
 }
 
 // BenchmarkSimReplayReuse replays the same schedule on one recycled engine

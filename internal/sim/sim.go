@@ -22,7 +22,20 @@ import (
 	"sort"
 
 	"logpopt/internal/logp"
+	"logpopt/internal/obs"
 	"logpopt/internal/schedule"
+)
+
+// Package-level metric handles (looked up once; see the obs overhead
+// discipline). Hot paths accumulate into plain Engine fields and Replay
+// flushes one atomic add per counter per run.
+var (
+	mReplays    = obs.Default.Counter("sim.replays")
+	mEvents     = obs.Default.Counter("sim.events.processed")
+	mSends      = obs.Default.Counter("sim.sends")
+	mRecvs      = obs.Default.Counter("sim.recvs")
+	mCapChecks  = obs.Default.Counter("sim.capacity.checks")
+	mViolations = obs.Default.Counter("sim.violations")
 )
 
 // Mode selects the reception discipline.
@@ -123,12 +136,25 @@ type Engine struct {
 	Mode      Mode
 	BufferCap int // max buffered arrivals per proc in Buffered mode; 0 = unlimited
 
+	// Tracer, when non-nil, receives a flight recorder of the run: one span
+	// per port overhead (per-processor busy tracks), instants for
+	// violations, and counters for the flight-heap size and total buffered
+	// queue depth. Timestamps are LogP cycles. TracePID selects the trace
+	// process id (defaults to 1); set distinct pids to overlay several
+	// engines in one trace. Both survive Reset, like BufferCap.
+	Tracer   *obs.Tracer
+	TracePID int
+
 	now        logp.Time
 	procs      []procState
 	inflight   flightHeap
 	executed   schedule.Schedule
 	violations []schedule.Violation
 	sendBuf    []schedule.Event // Replay scratch, reused across runs
+
+	// Run-local metric tallies, flushed to obs.Default by Replay.
+	nEvents, nCapChecks int64
+	bufferedNow         int // total buffered messages across procs (Buffered)
 }
 
 const minusInf = logp.Time(-1) << 40
@@ -151,6 +177,7 @@ func (e *Engine) Reset(m logp.Machine, mode Mode) {
 	e.executed.Events = e.executed.Events[:0]
 	e.inflight = e.inflight[:0]
 	e.violations = e.violations[:0]
+	e.nEvents, e.nCapChecks, e.bufferedNow = 0, 0, 0
 	if cap(e.procs) < m.P {
 		e.procs = make([]procState, m.P)
 	} else {
@@ -175,6 +202,28 @@ func (e *Engine) Reset(m logp.Machine, mode Mode) {
 
 // Now returns the current simulation time.
 func (e *Engine) Now() logp.Time { return e.now }
+
+// tracePID returns the pid used for this engine's trace tracks.
+func (e *Engine) tracePID() int {
+	if e.TracePID != 0 {
+		return e.TracePID
+	}
+	return 1
+}
+
+// violate records a violation and, when tracing, marks it as an instant on
+// the offending processor's track (or the engine track P when proc < 0).
+func (e *Engine) violate(proc int, v schedule.Violation) {
+	e.violations = append(e.violations, v)
+	if e.Tracer != nil {
+		tid := proc
+		if tid < 0 || tid >= e.M.P {
+			tid = e.M.P
+		}
+		e.Tracer.Instant(e.tracePID(), tid, "violation", int64(e.now),
+			obs.A("kind", string(v.Kind)), obs.A("msg", v.Msg))
+	}
+}
 
 // Inject makes item available at processor p at time at (an origin, e.g. the
 // broadcast source's datum, or a continuously generated stream item).
@@ -236,6 +285,12 @@ func (e *Engine) Send(from, item, to int) error {
 	msg := Msg{From: from, To: to, Item: item, SendAt: e.now, Arrive: e.now + e.M.O + e.M.L}
 	e.inflight.push(msg)
 	e.executed.Send(from, e.now, item, to)
+	if e.Tracer != nil {
+		pid := e.tracePID()
+		e.Tracer.Span(pid, from, "send", int64(e.now), int64(e.M.O),
+			obs.A("item", item), obs.A("to", to))
+		e.Tracer.Counter(pid, "inflight", int64(e.now), int64(len(e.inflight)))
+	}
 	return nil
 }
 
@@ -251,15 +306,16 @@ func (e *Engine) checkCapacity(from, to int) {
 	ps, qs := &e.procs[from], &e.procs[to]
 	ps.outEnds = pruneEnds(ps.outEnds, start)
 	qs.inEnds = pruneEnds(qs.inEnds, start)
+	e.nCapChecks++
 	if len(ps.outEnds)+1 > capN {
-		e.violations = append(e.violations, schedule.Violation{
+		e.violate(from, schedule.Violation{
 			Kind: schedule.VCapacity,
 			Msg: fmt.Sprintf("sim: %d messages in transit from proc %d at time %d (capacity %d)",
 				len(ps.outEnds)+1, from, start, capN),
 		})
 	}
 	if len(qs.inEnds)+1 > capN {
-		e.violations = append(e.violations, schedule.Violation{
+		e.violate(to, schedule.Violation{
 			Kind: schedule.VCapacity,
 			Msg: fmt.Sprintf("sim: %d messages in transit to proc %d at time %d (capacity %d)",
 				len(qs.inEnds)+1, to, start, capN),
@@ -300,11 +356,12 @@ func (e *Engine) Tick() { e.TickTo(e.now + 1) }
 func (e *Engine) processArrivals() {
 	for len(e.inflight) > 0 && e.inflight[0].Arrive <= e.now {
 		msg := e.inflight.pop()
+		e.nEvents++
 		ps := &e.procs[msg.To]
 		switch e.Mode {
 		case Strict:
 			if !e.canRecvAt(msg.To, msg.Arrive) {
-				e.violations = append(e.violations, schedule.Violation{
+				e.violate(msg.To, schedule.Violation{
 					Kind: schedule.VGap,
 					Msg: fmt.Sprintf("sim: proc %d receive port busy for item %d arriving at %d",
 						msg.To, msg.Item, msg.Arrive),
@@ -317,8 +374,14 @@ func (e *Engine) processArrivals() {
 			if len(ps.buffer) > ps.maxBuffer {
 				ps.maxBuffer = len(ps.buffer)
 			}
+			e.bufferedNow++
+			if e.Tracer != nil {
+				pid := e.tracePID()
+				e.Tracer.Counter(pid, "inflight", int64(e.now), int64(len(e.inflight)))
+				e.Tracer.Counter(pid, "buffered", int64(e.now), int64(e.bufferedNow))
+			}
 			if e.BufferCap > 0 && len(ps.buffer) > e.BufferCap {
-				e.violations = append(e.violations, schedule.Violation{
+				e.violate(msg.To, schedule.Violation{
 					Kind: schedule.VCapacity,
 					Msg: fmt.Sprintf("sim: proc %d buffer exceeds cap %d at time %d",
 						msg.To, e.BufferCap, e.now),
@@ -346,6 +409,10 @@ func (e *Engine) processArrivals() {
 			}
 			msg := ps.buffer[best]
 			ps.buffer = append(ps.buffer[:best], ps.buffer[best+1:]...)
+			e.bufferedNow--
+			if e.Tracer != nil {
+				e.Tracer.Counter(e.tracePID(), "buffered", int64(e.now), int64(e.bufferedNow))
+			}
 			e.receive(msg, e.now)
 		}
 	}
@@ -363,6 +430,13 @@ func (e *Engine) receive(msg Msg, t logp.Time) {
 		ps.avail[msg.Item] = availAt
 	}
 	e.executed.Recv(msg.To, t, msg.Item, msg.From)
+	if e.Tracer != nil {
+		pid := e.tracePID()
+		e.Tracer.Span(pid, msg.To, "recv", int64(t), int64(e.M.O),
+			obs.A("item", msg.Item), obs.A("from", msg.From),
+			obs.A("waited", int64(t-msg.Arrive)))
+		e.Tracer.Counter(pid, "inflight", int64(t), int64(len(e.inflight)))
+	}
 }
 
 // Drain advances time until no messages are in flight or buffered, up to the
@@ -462,6 +536,18 @@ func Run(s *schedule.Schedule, mode Mode, origins map[int]schedule.Origin) (*Eng
 // item, then destination — so the replay never depends on the input event
 // ordering.
 func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) Report {
+	if e.Tracer != nil {
+		pid := e.tracePID()
+		mode := "strict"
+		if e.Mode == Buffered {
+			mode = "buffered"
+		}
+		e.Tracer.NameProcess(pid, fmt.Sprintf("sim-%s %v", mode, e.M))
+		for p := 0; p < e.M.P; p++ {
+			e.Tracer.NameThread(pid, p, fmt.Sprintf("P%d", p))
+		}
+		e.Tracer.NameThread(pid, e.M.P, "engine")
+	}
 	for item, og := range origins {
 		e.Inject(og.Proc, item, og.Time)
 	}
@@ -474,7 +560,7 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 		if ev.Time < 0 {
 			// The clock starts at 0; a send before then can never execute.
 			// Record it instead of silently spinning past it.
-			e.violations = append(e.violations, schedule.Violation{
+			e.violate(ev.Proc, schedule.Violation{
 				Kind: "replay",
 				Msg: fmt.Sprintf("sim: proc %d send of item %d at negative time %d",
 					ev.Proc, ev.Item, ev.Time),
@@ -515,7 +601,7 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 		for i < len(sends) && sends[i].Time == e.Now() {
 			ev := sends[i]
 			if err := e.Send(ev.Proc, ev.Item, ev.Peer); err != nil {
-				e.violations = append(e.violations, schedule.Violation{
+				e.violate(ev.Proc, schedule.Violation{
 					Kind: "replay", Msg: err.Error(),
 				})
 			}
@@ -544,6 +630,22 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 		}
 		e.Tick()
 	}
+	// Flush the run's metric tallies: one atomic add per counter per replay.
+	mReplays.Inc()
+	mEvents.Add(e.nEvents)
+	mCapChecks.Add(e.nCapChecks)
+	var nSends, nRecvs int64
+	for _, ev := range e.executed.Events {
+		switch ev.Op {
+		case schedule.OpSend:
+			nSends++
+		case schedule.OpRecv:
+			nRecvs++
+		}
+	}
+	mSends.Add(nSends)
+	mRecvs.Add(nRecvs)
+	mViolations.Add(int64(len(e.violations)))
 	return Report{
 		Finish:     e.finishTime(),
 		MaxBuffer:  e.MaxBuffer(),
@@ -563,35 +665,25 @@ func (e *Engine) finishTime() logp.Time {
 	return mx
 }
 
-// Stats summarizes port activity for one run.
-type Stats struct {
-	Sends, Recvs   int       // total message events
-	BusyCycles     int64     // sum over processors of overhead cycles spent
-	Span           logp.Time // finish time (same as Report.Finish)
-	PortUtilFinish float64   // BusyCycles / (P * Span); 0 when Span == 0
+// Stats is the port-activity summary for one run. It is the shared
+// schedule.Stats shape (also produced by the goroutine runtime), extended
+// since the run-global-only version with a per-processor busy/idle
+// breakdown and per-processor buffered-queue high-water marks.
+type Stats = schedule.Stats
+
+// ProcMaxBuffers returns the input-buffer high-water mark per processor
+// (all zeros in Strict mode).
+func (e *Engine) ProcMaxBuffers() []int {
+	mb := make([]int, len(e.procs))
+	for i := range e.procs {
+		mb[i] = e.procs[i].maxBuffer
+	}
+	return mb
 }
 
-// Stats computes port-activity statistics from the executed schedule.
+// Stats computes port-activity statistics from the executed schedule via
+// the shared schedule.ComputeStats, so the result is field-for-field
+// comparable with runtime.Runtime.Stats in the conformance harness.
 func (e *Engine) Stats() Stats {
-	var st Stats
-	for _, ev := range e.executed.Events {
-		switch ev.Op {
-		case schedule.OpSend:
-			st.Sends++
-			st.BusyCycles += int64(e.M.O)
-		case schedule.OpRecv:
-			st.Recvs++
-			st.BusyCycles += int64(e.M.O)
-		}
-	}
-	if e.M.O == 0 {
-		// In the postal model count each port event as one busy cycle so
-		// utilization remains meaningful.
-		st.BusyCycles = int64(st.Sends + st.Recvs)
-	}
-	st.Span = e.finishTime()
-	if st.Span > 0 && e.M.P > 0 {
-		st.PortUtilFinish = float64(st.BusyCycles) / (float64(e.M.P) * float64(st.Span))
-	}
-	return st
+	return schedule.ComputeStats(&e.executed, e.finishTime(), e.ProcMaxBuffers())
 }

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/xml"
+	"os"
+	"strings"
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+)
+
+// TestSVGGolden pins the Figure 1 broadcast rendering byte-for-byte against
+// testdata/broadcast_fig1.svg. The renderer is pure formatting over a
+// deterministic schedule, so any diff is an intentional visual change —
+// regenerate the golden by writing SVG(BroadcastSchedule(ProfilePaperFig1,
+// 0)) over the file and eyeballing it in a browser.
+func TestSVGGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/broadcast_fig1.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SVG(core.BroadcastSchedule(logp.ProfilePaperFig1, 0))
+	if got != string(want) {
+		t.Fatalf("SVG output drifted from golden (%d bytes vs %d); "+
+			"regenerate testdata/broadcast_fig1.svg if the change is intentional",
+			len(got), len(want))
+	}
+}
+
+// TestSVGWellFormedXML feeds renders through an XML parser: every dynamic
+// string (machine description, block titles) passes through escape, so the
+// output must always be well-formed. A missed escape of < or & breaks this
+// immediately.
+func TestSVGWellFormedXML(t *testing.T) {
+	for _, m := range []logp.Machine{logp.ProfilePaperFig1, logp.Postal(9, 3)} {
+		svg := SVG(core.BroadcastSchedule(m, 0))
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%v: SVG is not well-formed XML: %v", m, err)
+			}
+		}
+	}
+}
