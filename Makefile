@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json trace-smoke fuzz conform vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json bench-gate trace-smoke fuzz conform vet fmt examples reproduce clean
 
 all: build test
 
@@ -30,6 +30,17 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_3.json
 	@cat BENCH_3.json
 
+# Regression gate: rerun the bench-json suite and diff it against the last
+# committed baseline (BENCH_3.json) with cmd/benchdiff. Local runs hard-fail
+# on any metric past its threshold; on CI (the CI env var is set) the gate
+# only warns, because shared runners are too noisy for wall-time thresholds.
+bench-gate:
+	$(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
+		./internal/continuous/ ./internal/bench/ ./internal/sim/ \
+		| $(GO) run ./cmd/benchjson > BENCH_gate.json
+	$(GO) run ./cmd/benchdiff $(if $(CI),,-strict) BENCH_3.json BENCH_gate.json
+	@rm -f BENCH_gate.json
+
 # Smoke-test the observability layer: compile a schedule with -trace on and
 # assert the emitted file is non-empty, Perfetto-loadable trace JSON.
 trace-smoke:
@@ -42,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzValidate -fuzztime=30s ./internal/schedule/
 	$(GO) test -fuzz=FuzzValidatorConsistency -fuzztime=30s ./internal/schedule/
 	$(GO) test -fuzz=FuzzConform -fuzztime=30s ./internal/conform/
+	$(GO) test -fuzz=FuzzCausal -fuzztime=30s ./internal/obs/causal/
 
 # Differential conformance: replay paper constructors and 500 random seeds on
 # the simulator (strict/buffered), the goroutine runtime (strict/buffered),

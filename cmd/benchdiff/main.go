@@ -1,0 +1,60 @@
+// Command benchdiff compares two benchmark result files produced by
+// cmd/benchjson and reports per-metric deltas:
+//
+//	benchdiff [-ns 0.10] [-bytes 0.10] [-allocs 0] [-strict] [-v] old.json new.json
+//
+// A metric counts as a regression when its fractional increase exceeds the
+// metric's threshold (-ns/-bytes/-allocs; negative disables a metric). By
+// default benchdiff only warns — it prints the regressions and exits 0, so
+// noisy CI runners don't block merges. With -strict it exits 1 when any
+// regression is found; `make bench-gate` passes -strict for local runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logpopt/internal/benchcmp"
+)
+
+func main() {
+	ns := flag.Float64("ns", benchcmp.DefaultThresholds.NsPerOp,
+		"allowed fractional ns/op increase (0.10 = +10%); negative disables")
+	bytesOp := flag.Float64("bytes", benchcmp.DefaultThresholds.BytesOp,
+		"allowed fractional B/op increase; negative disables")
+	allocs := flag.Float64("allocs", benchcmp.DefaultThresholds.AllocsOp,
+		"allowed fractional allocs/op increase (0 = exact); negative disables")
+	strict := flag.Bool("strict", false, "exit 1 when any regression is found")
+	verbose := flag.Bool("v", false, "list every compared metric, not only regressions")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] old.json new.json\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := benchcmp.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := benchcmp.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rep := benchcmp.Compare(old, cur, benchcmp.Thresholds{
+		NsPerOp: *ns, BytesOp: *bytesOp, AllocsOp: *allocs,
+	})
+	rep.Write(os.Stdout, *verbose)
+	if rep.Regressions > 0 {
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: warn-only mode; rerun with -strict to fail on regressions")
+	}
+}

@@ -12,6 +12,9 @@
 //	                         # record per-experiment wall spans and solver
 //	                         # portfolio races as a Chrome/Perfetto trace,
 //	                         # and print the metrics snapshot to stderr
+//	logpbench -all -serve :8080
+//	                         # expose live telemetry while running: /metrics
+//	                         # (Prometheus text), /debug/pprof/, /traces/
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"os"
 
 	"logpopt/internal/bench"
+	"logpopt/internal/cliutil"
 	"logpopt/internal/obs"
 	"logpopt/internal/par"
 )
@@ -65,8 +69,9 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids")
 		parallel = flag.Int("parallel", par.Limit(),
 			"worker-pool width for solver portfolios and table sweeps (default GOMAXPROCS); results are identical for any value")
-		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace (experiment wall spans + solver portfolio) to this file")
-		metrics  = flag.Bool("metrics", false, "print the metrics snapshot to stderr before exiting")
+		traceOut = flag.String("trace", "", cliutil.TraceUsage)
+		metrics  = flag.Bool("metrics", false, cliutil.MetricsUsage)
+		serveOn  = flag.String("serve", "", cliutil.ServeUsage)
 	)
 	flag.Parse()
 	par.SetLimit(*parallel)
@@ -80,6 +85,14 @@ func main() {
 		tracer.NameProcess(4, "solver portfolio (wall µs)")
 		par.SetTracer(tracer, 4)
 	}
+	srv, err := cliutil.StartServe("logpbench", *serveOn, tracer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 	runTraced := func(e experiment) (string, error) {
 		if tracer == nil {
 			return e.run()
@@ -91,11 +104,10 @@ func main() {
 	}
 	finish := func() {
 		if tracer != nil {
-			if err := tracer.WriteFile(*traceOut); err != nil {
+			if err := cliutil.WriteTrace("logpbench", tracer, *traceOut); err != nil {
 				fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "logpbench: trace written to %s (%d events)\n", *traceOut, tracer.Len())
 		}
 		if *metrics {
 			fmt.Fprint(os.Stderr, obs.Default.Snapshot())

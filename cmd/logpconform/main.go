@@ -14,7 +14,11 @@
 // backend with a flight recorder attached and the per-backend Chrome traces
 // are written under -dumpdir, so the disagreement can be inspected on a
 // Perfetto timeline. -trace records every backend replay of the whole run
-// into one file; -metrics prints the counter/histogram snapshot to stderr.
+// into one file; -metrics prints the counter/histogram snapshot to stderr;
+// -metricsout writes the snapshot in Prometheus text format to a file (CI
+// uploads it as an artifact when the harness finds a divergence); -serve
+// exposes /metrics, /debug/pprof/, and /traces/ over HTTP while the sweep
+// runs.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"logpopt/internal/cliutil"
 	"logpopt/internal/conform"
 	"logpopt/internal/obs"
 )
@@ -31,8 +36,10 @@ func main() {
 	start := flag.Int64("start", 0, "first random seed")
 	paper := flag.Bool("paper", true, "also check every paper schedule constructor")
 	verbose := flag.Bool("v", false, "print every case as it is checked")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of every backend replay to this file")
-	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr before exiting")
+	traceOut := flag.String("trace", "", cliutil.TraceUsage)
+	metrics := flag.Bool("metrics", false, cliutil.MetricsUsage)
+	metricsOut := flag.String("metricsout", "", "write the metrics snapshot in Prometheus text format to `file` before exiting (default: off)")
+	serveOn := flag.String("serve", "", cliutil.ServeUsage)
 	dumpdir := flag.String("dumpdir", "conform-traces", "directory for per-backend trace dumps of shrunk diverging cases")
 	flag.Parse()
 
@@ -41,6 +48,13 @@ func main() {
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
 		ck.SetTracer(tracer)
+	}
+	srv, err := cliutil.StartServe("logpconform", *serveOn, tracer)
+	if err != nil {
+		fail(err)
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 	checked, diverged := 0, 0
 
@@ -89,14 +103,17 @@ func main() {
 	}
 
 	if tracer != nil {
-		if err := tracer.WriteFile(*traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "logpconform: %v\n", err)
-			os.Exit(1)
+		if err := cliutil.WriteTrace("logpconform", tracer, *traceOut); err != nil {
+			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "logpconform: trace written to %s (%d events)\n", *traceOut, tracer.Len())
 	}
 	if *metrics {
 		fmt.Fprint(os.Stderr, obs.Default.Snapshot())
+	}
+	if *metricsOut != "" {
+		if err := cliutil.WriteMetricsFile(*metricsOut); err != nil {
+			fail(err)
+		}
 	}
 	if diverged > 0 {
 		fmt.Printf("%d of %d cases diverged\n", diverged, checked)
@@ -104,3 +121,5 @@ func main() {
 	}
 	fmt.Printf("%d cases conform across all backends\n", checked)
 }
+
+func fail(err error) { cliutil.Fail("logpconform", err) }

@@ -9,6 +9,16 @@
 //	logpsched -op kitem -P 10 -L 3 -k 8 -render table
 //	logpsched -op scan -P 9 -L 3 -render svg > scan.svg
 //	logpsched -op kitem -P 10 -L 3 -k 8 -trace out.json -metrics
+//	logpsched -op broadcast -explain
+//	logpsched -op linear -explain -render svg > chain.svg
+//
+// -explain replaces the schedule output with a causal critical-path report:
+// the chain of events that determines the finish time, each with its
+// binding LogP constraint and slack, the per-component breakdown
+// (L/o/g/compute/origin/wait), and the gap to the operation's closed-form
+// lower bound attributed to the constraint classes that ate it. Combined
+// with -render svg, the SVG timeline goes to stdout with the critical path
+// outlined in red and the report moves to stderr.
 //
 // -trace writes a Chrome trace-event file (open in Perfetto or
 // chrome://tracing) covering the solver portfolio and a simulated replay of
@@ -16,19 +26,26 @@
 // stderr.
 //
 // Operations: broadcast, alltoall, personalized, scatter, gather, reduce,
-// scan, kitem (postal only), continuous (postal only).
+// scan, kitem (postal only), continuous (postal only), summation (requires
+// -t deadline), and the broadcast baselines linear, flat, binary, binomial.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	logpopt "logpopt"
+	"logpopt/internal/baseline"
+	"logpopt/internal/cliutil"
 	"logpopt/internal/conform"
+	"logpopt/internal/logp"
 	"logpopt/internal/obs"
+	"logpopt/internal/obs/causal"
 	"logpopt/internal/par"
 	"logpopt/internal/sim"
+	"logpopt/internal/trace"
 )
 
 func main() {
@@ -40,9 +57,11 @@ func main() {
 		g        = flag.Int64("g", 4, "gap")
 		postal   = flag.Bool("postal", false, "postal model (forces o=0, g=1)")
 		k        = flag.Int("k", 1, "items for kitem/alltoall/continuous")
+		deadline = flag.Int64("t", 0, "deadline for -op summation (cycles)")
 		render   = flag.String("render", "json", "output: json, gantt, table, svg")
-		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace (solver portfolio + simulated replay) to this file")
-		metrics  = flag.Bool("metrics", false, "print the metrics snapshot to stderr before exiting")
+		explain  = flag.Bool("explain", false, "print a causal critical-path report instead of the schedule (with -render svg: highlighted SVG on stdout, report on stderr)")
+		traceOut = flag.String("trace", "", cliutil.TraceUsage)
+		metrics  = flag.Bool("metrics", false, cliutil.MetricsUsage)
 	)
 	flag.Parse()
 
@@ -70,32 +89,79 @@ func main() {
 		}
 	}
 
+	// bound is the op's closed-form lower bound (-1: none known); ref is its
+	// reference breakdown for gap attribution (nil: proportional to achieved).
 	var s *logpopt.Schedule
+	bound := logp.Time(-1)
+	var ref *causal.Breakdown
+	optimalBroadcastRef := func() *causal.Breakdown {
+		r := causal.Analyze(logpopt.BroadcastSchedule(m, 0), logpopt.BroadcastOrigins(0)).Achieved
+		return &r
+	}
 	switch *op {
 	case "broadcast":
 		s = logpopt.BroadcastSchedule(m, 0)
+		bound = logpopt.BroadcastTime(m, m.P)
+	case "linear", "flat", "binary", "binomial":
+		var tr *logpopt.Tree
+		switch *op {
+		case "linear":
+			tr = logpopt.LinearTree(m, m.P)
+		case "flat":
+			tr = logpopt.FlatTree(m, m.P)
+		case "binary":
+			tr = logpopt.BinaryTree(m, m.P)
+		case "binomial":
+			tr = logpopt.BinomialTree(m, m.P)
+		}
+		s, err = baseline.Schedule(tr, 0)
+		if err != nil {
+			fail(err)
+		}
+		bound = logpopt.BroadcastTime(m, m.P)
+		ref = optimalBroadcastRef()
 	case "alltoall":
 		s = logpopt.AllToAllSchedule(m, *k)
+		bound = logpopt.AllToAllLowerBound(m, *k)
 	case "personalized":
 		s = logpopt.PersonalizedSchedule(m)
+		bound = logpopt.AllToAllLowerBound(m, 1)
 	case "scatter":
 		s = logpopt.ScatterSchedule(m)
+		bound = logpopt.ScatterLowerBound(m)
 	case "gather":
 		s = logpopt.GatherSchedule(m)
+		bound = logpopt.ScatterLowerBound(m)
 	case "reduce":
 		s = logpopt.ReduceSchedule(m, m.P)
+		bound = logpopt.BroadcastTime(m, m.P)
 	case "scan":
 		s = logpopt.ScanSchedule(m, m.P)
+		bound = logpopt.BroadcastTime(m, m.P) // one sweep is unavoidable
 	case "kitem":
 		_, s, err = logpopt.KItemOptimalGeneral(m.L, m.P, *k)
 		if err != nil {
 			fail(fmt.Errorf("%w (try the greedy scheduler in the library for this instance)", err))
 		}
+		bound = logp.Time(logpopt.KItemBoundsFor(int(m.L), m.P, int64(*k)).SingleSending)
 	case "continuous":
-		_, s, err = logpopt.ContinuousSolveGeneral(int(m.L), m.P-1, *k)
+		var inst *logpopt.ContinuousInstance
+		inst, s, err = logpopt.ContinuousSolveGeneral(int(m.L), m.P-1, *k)
 		if err != nil {
 			fail(err)
 		}
+		bound = logp.Time(inst.Delay() + *k - 1)
+	case "summation":
+		if *deadline <= 0 {
+			fail(errors.New("summation requires -t <deadline> (e.g. -t 28 for Figure 6)"))
+		}
+		var pl *logpopt.SummationPlan
+		pl, err = logpopt.BuildSummation(m, logp.Time(*deadline))
+		if err != nil {
+			fail(err)
+		}
+		s = pl.Schedule()
+		bound = logp.Time(*deadline)
 	default:
 		fail(fmt.Errorf("unknown op %q", *op))
 	}
@@ -110,16 +176,35 @@ func main() {
 		eng := sim.New(s.M, sim.Strict)
 		eng.Tracer = tracer
 		eng.Replay(s, conform.DerivedOrigins(s))
-		if err := tracer.WriteFile(*traceOut); err != nil {
+		if err := cliutil.WriteTrace("logpsched", tracer, *traceOut); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "logpsched: trace written to %s (%d events)\n", *traceOut, tracer.Len())
+	}
+
+	if *explain {
+		rep := causal.Analyze(s, conform.DerivedOrigins(s))
+		if bound >= 0 {
+			r := rep.Achieved.Scaled(bound)
+			if ref != nil {
+				r = *ref
+			}
+			if err := rep.SetBound(bound, r); err != nil {
+				fail(err)
+			}
+		}
+		if *render == "svg" {
+			fmt.Print(trace.SVGHighlight(s, rep.CriticalSet()))
+			fmt.Fprint(os.Stderr, rep.String())
+		} else {
+			fmt.Print(rep.String())
+		}
+		return
 	}
 
 	switch *render {
 	case "json":
 		if err := s.WriteJSON(os.Stdout); err != nil {
-			fail(err)
+			fail(cliutil.WriteError("schedule JSON", "stdout", err))
 		}
 	case "gantt":
 		fmt.Print(logpopt.Gantt(s))
@@ -132,7 +217,4 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "logpsched:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliutil.Fail("logpsched", err) }

@@ -1,0 +1,82 @@
+// Package cliutil keeps the logpopt command-line tools consistent: one set
+// of usage strings for the flags every tool accepts (-trace, -metrics,
+// -serve), one error-message shape for unwritable output paths, and
+// one-call startup for the telemetry server.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"logpopt/internal/obs"
+	"logpopt/internal/obs/serve"
+)
+
+// Usage strings shared by every command's flag definitions, defaults
+// included, so `-h` output reads the same across tools.
+const (
+	TraceUsage   = "write a Chrome/Perfetto trace of this run to `file` (default: no trace)"
+	MetricsUsage = "print the metrics snapshot to stderr before exiting (default: off)"
+	ServeUsage   = "serve live telemetry over HTTP on `address` (:0 picks a free port): " +
+		"/metrics, /debug/pprof/, /traces/ (default: off)"
+)
+
+// Fail prints "<cmd>: <err>" to stderr and exits 1 — the uniform fatal-error
+// shape of every tool.
+func Fail(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	os.Exit(1)
+}
+
+// WriteError wraps an output-path failure so every tool reports unwritable
+// paths identically: "cannot write <what> to <path>: <cause>".
+func WriteError(what, path string, err error) error {
+	return fmt.Errorf("cannot write %s to %s: %w", what, path, err)
+}
+
+// WriteTrace writes t to path and confirms on stderr, with the uniform
+// error shape on failure.
+func WriteTrace(cmd string, t *obs.Tracer, path string) error {
+	if err := t.WriteFile(path); err != nil {
+		return WriteError("trace", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: trace written to %s (%d events)\n", cmd, path, t.Len())
+	return nil
+}
+
+// WriteMetricsFile writes the default registry's Prometheus exposition to
+// path (the -metricsout snapshot CI uploads as an artifact).
+func WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return WriteError("metrics snapshot", path, err)
+	}
+	werr := obs.Default.WritePrometheus(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return WriteError("metrics snapshot", path, werr)
+	}
+	return nil
+}
+
+// StartServe starts the telemetry server over the default metrics registry
+// when addr is non-empty, announcing the bound address on stderr. A non-nil
+// tracer is exposed live at /traces/live. The caller owns the returned
+// server (nil when addr is empty) and should Close it on shutdown.
+func StartServe(cmd, addr string, tracer *obs.Tracer) (*serve.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv := serve.New(nil)
+	if tracer != nil {
+		srv.AddTracer("live", tracer)
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: telemetry at http://%s/ (/metrics, /debug/pprof/, /traces/)\n", cmd, bound)
+	return srv, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"logpopt/internal/obs"
+	"logpopt/internal/obs/causal"
 	"logpopt/internal/runtime"
 	"logpopt/internal/schedule"
 	"logpopt/internal/sim"
@@ -176,6 +177,23 @@ func (ck *Checker) Check(c Case) (diffs []string) {
 			add("clean buffered trace fails deferred validation: %v", vs[0])
 		}
 	}
+
+	// Causal-analysis equivalence: on clean cases the critical path — the
+	// chain of constraints that explains the finish time — must be identical
+	// between the simulator's and the runtime's executed traces. The analysis
+	// is deterministic in the event multiset, so a signature mismatch means
+	// the backends genuinely executed different causal structures (a subtler
+	// divergence than a trace diff, which would already have fired above).
+	if simS.Clean() {
+		if d := causalDiff(simS.Trace, rtS.Trace, c.Origins); d != "" {
+			add("strict critical path: sim vs runtime: %s", d)
+		}
+	}
+	if simB.Clean() {
+		if d := causalDiff(simB.Trace, rtB.Trace, c.Origins); d != "" {
+			add("buffered critical path: sim vs runtime: %s", d)
+		}
+	}
 	if simS.Clean() && simB.Clean() {
 		if msg := traceDiff(simS.Trace, simB.Trace); msg != "" {
 			add("strict vs buffered trace on a clean schedule: %s", msg)
@@ -192,6 +210,17 @@ func (ck *Checker) Check(c Case) (diffs []string) {
 // Diverges reports whether the case violates the contract. It is the
 // predicate the shrinker minimizes against.
 func (ck *Checker) Diverges(c Case) bool { return len(ck.Check(c)) > 0 }
+
+// causalDiff compares the canonical critical-path signatures of two executed
+// traces ("" when identical).
+func causalDiff(a, b *schedule.Schedule, origins map[int]schedule.Origin) string {
+	sa := causal.Analyze(a, origins).Signature()
+	sb := causal.Analyze(b, origins).Signature()
+	if sa != sb {
+		return fmt.Sprintf("%q vs %q", sa, sb)
+	}
+	return ""
+}
 
 // statsDiff compares two Stats breakdowns and describes the first
 // disagreement ("" when equal). queues controls whether the per-processor

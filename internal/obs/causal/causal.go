@@ -1,0 +1,590 @@
+// Package causal reconstructs the causal structure of an executed LogP
+// schedule and explains its finish time. Every event becomes a node of a
+// DAG whose edges are the machine constraints that forced the event's start
+// time:
+//
+//   - a latency edge from each send to its matching receive (the receive
+//     cannot start before send + o + L, so the item is available L + 2o
+//     after the send began);
+//   - a gap edge between successive sends (or successive receives) at the
+//     same port (spacing at least g);
+//   - a busy edge from any positive-duration predecessor at the same
+//     processor (overhead and compute intervals serialize a processor);
+//   - an availability edge from the receive (or the origin injection) that
+//     first made a sent item available at its sender.
+//
+// Walking back from the event that realizes the finish time, always through
+// the *binding* (latest-bound) constraint, yields the critical path: the
+// chain of events that determines when the run completes. Each traversed
+// edge contributes its elapsed cycles to exactly one component — latency L,
+// overhead o, gap g, or compute — and any cycles an event started later
+// than every one of its constraints demanded land in the wait component, so
+//
+//	Finish = Latency + Overhead + Gap + Compute + Origin + Wait
+//
+// holds as an identity (the fuzz target FuzzCausal exercises it). Comparing
+// the achieved breakdown against a reference breakdown of a closed-form
+// lower bound (Theorem 2.1 broadcast, Theorem 3.1/3.6 k-item, Section 4.1
+// all-to-all, Section 5 summation) attributes the gap above the bound to
+// the constraint class that ate the slack.
+//
+// A backward pass over the same DAG additionally computes per-event slack:
+// how far each event could slip without moving the finish time. Events on
+// the critical path of a tight schedule have slack zero.
+package causal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/schedule"
+)
+
+// EdgeKind classifies the constraint an edge of the causal DAG models.
+type EdgeKind int
+
+// Edge kinds. KindStart marks a path root with no constraint at all (its
+// whole start time is wait); KindOrigin marks a root pinned by an item
+// injection at a given time.
+const (
+	KindStart EdgeKind = iota
+	KindOrigin
+	KindLatency // recv after matching send: bound = send.start + o + L
+	KindGap     // same-port same-op spacing: bound = prev.start + g
+	KindBusy    // processor serialization: bound = prev.start + prev.dur
+	KindAvail   // item availability at a sender: bound = recv.start + o
+	KindCompute // serialization behind a compute interval
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindStart:
+		return "start"
+	case KindOrigin:
+		return "origin"
+	case KindLatency:
+		return "latency"
+	case KindGap:
+		return "gap"
+	case KindBusy:
+		return "busy"
+	case KindAvail:
+		return "avail"
+	case KindCompute:
+		return "compute"
+	default:
+		return fmt.Sprintf("edge(%d)", int(k))
+	}
+}
+
+// Breakdown decomposes a stretch of cycles into the LogP constraint classes
+// that account for them.
+type Breakdown struct {
+	Latency  logp.Time // cycles in flight (L per traversed message)
+	Overhead logp.Time // send/receive overhead cycles (o per port action)
+	Gap      logp.Time // port spacing cycles (g per binding gap edge)
+	Compute  logp.Time // local computation cycles
+	Origin   logp.Time // time before the path's root item was injected
+	Wait     logp.Time // cycles no constraint demanded (idle / buffer wait)
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() logp.Time {
+	return b.Latency + b.Overhead + b.Gap + b.Compute + b.Origin + b.Wait
+}
+
+// Sub returns the componentwise difference a - r.
+func (b Breakdown) Sub(r Breakdown) Breakdown {
+	return Breakdown{
+		Latency:  b.Latency - r.Latency,
+		Overhead: b.Overhead - r.Overhead,
+		Gap:      b.Gap - r.Gap,
+		Compute:  b.Compute - r.Compute,
+		Origin:   b.Origin - r.Origin,
+		Wait:     b.Wait - r.Wait,
+	}
+}
+
+// Scaled returns a breakdown with the same component proportions as b whose
+// components sum exactly to total (largest-remainder rounding, deterministic
+// tie-break by component order). It is the generic reference for SetBound
+// when no closed-form decomposition of a bound is known: the attribution
+// then charges each constraint class in proportion to its achieved share.
+// Scaling to b's own total returns b unchanged, so a schedule that meets its
+// bound exactly always attributes a zero gap.
+func (b Breakdown) Scaled(total logp.Time) Breakdown {
+	t := b.Total()
+	if t == total {
+		return b
+	}
+	if t <= 0 || total <= 0 {
+		return Breakdown{Latency: total}
+	}
+	comps := [6]logp.Time{b.Latency, b.Overhead, b.Gap, b.Compute, b.Origin, b.Wait}
+	var out [6]logp.Time
+	var sum logp.Time
+	idx := [6]int{0, 1, 2, 3, 4, 5}
+	rems := [6]logp.Time{}
+	for i, c := range comps {
+		out[i] = c * total / t
+		sum += out[i]
+		rems[i] = c * total % t
+	}
+	sort.SliceStable(idx[:], func(x, y int) bool { return rems[idx[x]] > rems[idx[y]] })
+	for k := logp.Time(0); k < total-sum; k++ {
+		out[idx[int(k)%6]]++
+	}
+	return Breakdown{
+		Latency: out[0], Overhead: out[1], Gap: out[2],
+		Compute: out[3], Origin: out[4], Wait: out[5],
+	}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("L=%d o=%d g=%d compute=%d origin=%d wait=%d (total %d)",
+		b.Latency, b.Overhead, b.Gap, b.Compute, b.Origin, b.Wait, b.Total())
+}
+
+// Step is one node of the critical path.
+type Step struct {
+	Event schedule.Event
+	Index int       // index into the analyzed schedule's Events slice
+	Kind  EdgeKind  // the binding constraint on this event's start
+	Slack logp.Time // start minus the binding bound (wait absorbed here)
+}
+
+// Report is the result of analyzing one executed schedule.
+type Report struct {
+	Finish   logp.Time // completion: last availability or compute end
+	Path     []Step    // critical path, origin side first
+	Achieved Breakdown // decomposition of Finish along Path (identity)
+
+	// OpSlack[i] is how many cycles event i of the analyzed schedule could
+	// start later without moving Finish (0 for tight critical events).
+	OpSlack []logp.Time
+
+	// Bound / Gap / Attribution are populated by SetBound.
+	Bound       logp.Time // closed-form lower bound; -1 until SetBound
+	Gap         logp.Time // Finish - Bound
+	Attribution Breakdown // Achieved - reference; components sum to Gap
+}
+
+// SetBound records the closed-form lower bound and its reference breakdown
+// and attributes the gap: Attribution = Achieved - ref componentwise, so the
+// components always sum to Finish - bound. ref.Total() must equal bound;
+// pass a zero Breakdown with bound 0 when no closed form is known (the gap
+// then equals Finish and the attribution is the achieved breakdown itself).
+func (r *Report) SetBound(bound logp.Time, ref Breakdown) error {
+	if ref.Total() != bound {
+		return fmt.Errorf("causal: reference breakdown totals %d, bound is %d", ref.Total(), bound)
+	}
+	r.Bound = bound
+	r.Gap = r.Finish - bound
+	r.Attribution = r.Achieved.Sub(ref)
+	return nil
+}
+
+// CriticalSet returns the set of event indices on the critical path.
+func (r *Report) CriticalSet() map[int]bool {
+	set := make(map[int]bool, len(r.Path))
+	for _, st := range r.Path {
+		set[st.Index] = true
+	}
+	return set
+}
+
+// Signature renders the critical path as one canonical line, usable for
+// equality checks across backends (the conformance harness diffs it between
+// the simulator's and the runtime's executed traces).
+func (r *Report) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "finish=%d", r.Finish)
+	for _, st := range r.Path {
+		e := st.Event
+		fmt.Fprintf(&b, " %s:P%d@%d/%s/i%d", st.Kind, e.Proc, e.Time, e.Op, e.Item)
+	}
+	return b.String()
+}
+
+// String renders the report as the -explain listing: the path, one event
+// per line with its binding constraint and slack, then the breakdown and —
+// when SetBound was called — the gap attribution.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path (%d steps, finish %d):\n", len(r.Path), r.Finish)
+	for _, st := range r.Path {
+		e := st.Event
+		var what string
+		switch e.Op {
+		case schedule.OpSend:
+			what = fmt.Sprintf("send item %d -> P%d", e.Item, e.Peer)
+		case schedule.OpRecv:
+			what = fmt.Sprintf("recv item %d <- P%d", e.Item, e.Peer)
+		case schedule.OpCompute:
+			what = fmt.Sprintf("compute tag %d (%d cycles)", e.Item, e.Dur)
+		}
+		fmt.Fprintf(&b, "  t=%-5d P%-3d %-24s via %s", e.Time, e.Proc, what, st.Kind)
+		if st.Slack != 0 {
+			fmt.Fprintf(&b, " (+%d wait)", st.Slack)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "breakdown: %s\n", r.Achieved)
+	if r.Bound >= 0 {
+		fmt.Fprintf(&b, "bound %d, gap %d", r.Bound, r.Gap)
+		if r.Gap != 0 {
+			fmt.Fprintf(&b, "; attribution: %s", r.Attribution)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// constraint is one incoming edge of a node: its start must be >= bound.
+type constraint struct {
+	from  int // predecessor node index; -1 for origin/start
+	kind  EdgeKind
+	bound logp.Time
+}
+
+// node is one event of the analyzed schedule.
+type node struct {
+	ev    schedule.Event
+	input int // index into s.Events
+	start logp.Time
+	dur   logp.Time // o for send/recv, Dur for compute
+	cons  []constraint
+}
+
+func (n *node) end() logp.Time { return n.start + n.dur }
+
+// analyzer holds the DAG under construction.
+type analyzer struct {
+	m     logp.Machine
+	nodes []node
+	order []int // node ids in deterministic (time, proc, op, item, peer) order
+}
+
+// Analyze builds the causal DAG of s (with the given item origins) and
+// extracts the critical path, the achieved breakdown, and per-event slack.
+// The input is treated as an executed trace: receive events are taken at
+// face value (buffered receptions later than arrival are legal and show up
+// as wait). Analysis is deterministic in the event multiset — the event
+// order of s is irrelevant — so two backends that executed the same events
+// produce identical reports. Report.Bound is -1 until SetBound is called.
+func Analyze(s *schedule.Schedule, origins map[int]schedule.Origin) *Report {
+	a := &analyzer{m: s.M}
+	a.build(s, origins)
+	rep := &Report{Bound: -1}
+	finNode, finTime := a.finish(origins)
+	rep.Finish = finTime
+	rep.Path, rep.Achieved = a.walk(finNode, finTime)
+	rep.OpSlack = a.slacks(finTime)
+
+	// Map per-node slack back to input event order.
+	slackIn := make([]logp.Time, len(s.Events))
+	for i := range a.nodes {
+		slackIn[a.nodes[i].input] = rep.OpSlack[i]
+	}
+	rep.OpSlack = slackIn
+	for i := range rep.Path {
+		rep.Path[i].Index = a.nodes[rep.Path[i].Index].input
+	}
+	return rep
+}
+
+// build creates the nodes in deterministic order and attaches every
+// constraint edge.
+func (a *analyzer) build(s *schedule.Schedule, origins map[int]schedule.Origin) {
+	m := a.m
+	a.nodes = make([]node, 0, len(s.Events))
+	for i, ev := range s.Events {
+		dur := m.O
+		if ev.Op == schedule.OpCompute {
+			dur = ev.Dur
+		}
+		a.nodes = append(a.nodes, node{ev: ev, input: i, start: ev.Time, dur: dur})
+	}
+	order := make([]int, len(a.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		p, q := &a.nodes[order[x]], &a.nodes[order[y]]
+		if p.ev.Time != q.ev.Time {
+			return p.ev.Time < q.ev.Time
+		}
+		if p.ev.Proc != q.ev.Proc {
+			return p.ev.Proc < q.ev.Proc
+		}
+		if p.ev.Op != q.ev.Op {
+			return p.ev.Op < q.ev.Op
+		}
+		if p.ev.Item != q.ev.Item {
+			return p.ev.Item < q.ev.Item
+		}
+		return p.ev.Peer < q.ev.Peer
+	})
+	a.order = order
+
+	// Per-processor serialization (busy) and same-op spacing (gap) edges.
+	lastAt := make(map[int]int)            // proc -> last node in order
+	lastOp := make(map[[2]int]int)         // (proc, op) -> last node
+	type mkey struct{ from, to, item int } // message identity
+	sendsBy := make(map[mkey][]int)        // sends per identity, time order
+	recvsAt := make(map[[2]int][]int)      // (proc, item) -> recvs, time order
+	for _, id := range order {
+		n := &a.nodes[id]
+		p := n.ev.Proc
+		if prev, ok := lastAt[p]; ok {
+			pn := &a.nodes[prev]
+			if pn.dur > 0 { // zero-duration events impose no busy constraint
+				kind := KindBusy
+				if pn.ev.Op == schedule.OpCompute {
+					kind = KindCompute
+				}
+				n.cons = append(n.cons, constraint{from: prev, kind: kind, bound: pn.end()})
+			}
+		}
+		lastAt[p] = id
+		if n.ev.Op != schedule.OpCompute {
+			k := [2]int{p, int(n.ev.Op)}
+			if prev, ok := lastOp[k]; ok {
+				n.cons = append(n.cons, constraint{
+					from: prev, kind: KindGap, bound: a.nodes[prev].start + m.G,
+				})
+			}
+			lastOp[k] = id
+		}
+		switch n.ev.Op {
+		case schedule.OpSend:
+			sendsBy[mkey{p, n.ev.Peer, n.ev.Item}] = append(sendsBy[mkey{p, n.ev.Peer, n.ev.Item}], id)
+		case schedule.OpRecv:
+			recvsAt[[2]int{p, n.ev.Item}] = append(recvsAt[[2]int{p, n.ev.Item}], id)
+		}
+	}
+
+	// Latency edges: match each recv to an unused send of the same message
+	// identity whose arrival is at or before the reception (buffered
+	// receptions may start late), preferring the latest such arrival; an
+	// exact-arrival strict trace matches one-to-one.
+	used := make(map[int]bool)
+	for _, id := range order {
+		n := &a.nodes[id]
+		if n.ev.Op != schedule.OpRecv {
+			continue
+		}
+		cands := sendsBy[mkey{n.ev.Peer, n.ev.Proc, n.ev.Item}]
+		best := -1
+		for _, sid := range cands {
+			if used[sid] {
+				continue
+			}
+			if arr := a.nodes[sid].start + m.O + m.L; arr <= n.start {
+				best = sid // candidates are in time order; keep the latest
+			}
+		}
+		if best < 0 { // violating trace: fall back to the earliest unused send
+			for _, sid := range cands {
+				if !used[sid] {
+					best = sid
+					break
+				}
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			n.cons = append(n.cons, constraint{
+				from: best, kind: KindLatency, bound: a.nodes[best].start + m.O + m.L,
+			})
+		}
+	}
+
+	// Availability edges: each send needs its item; the provider is whatever
+	// made it available earliest at the sender — the item's origin there, or
+	// the sender's first reception of it.
+	for _, id := range order {
+		n := &a.nodes[id]
+		if n.ev.Op != schedule.OpSend {
+			continue
+		}
+		provider, kind, at := -1, EdgeKind(-1), logp.Time(0)
+		if og, ok := origins[n.ev.Item]; ok && og.Proc == n.ev.Proc {
+			provider, kind, at = -1, KindOrigin, og.Time
+		}
+		if rs := recvsAt[[2]int{n.ev.Proc, n.ev.Item}]; len(rs) > 0 {
+			first := rs[0] // earliest reception = earliest availability
+			if avail := a.nodes[first].end(); kind < 0 || avail < at {
+				provider, kind, at = first, KindAvail, avail
+			}
+		}
+		if kind >= 0 {
+			a.nodes[id].cons = append(a.nodes[id].cons, constraint{from: provider, kind: kind, bound: at})
+		}
+	}
+}
+
+// finish determines the run's completion time — the latest item availability
+// across all (processor, item) pairs, or the end of the last compute if that
+// is later — and the node that realizes it (-1 when an origin injection or
+// an empty schedule realizes it).
+func (a *analyzer) finish(origins map[int]schedule.Origin) (int, logp.Time) {
+	type pi struct{ proc, item int }
+	avail := make(map[pi]logp.Time)
+	by := make(map[pi]int) // realizing recv node, -1 for origin
+	for item, og := range origins {
+		k := pi{og.Proc, item}
+		if t, ok := avail[k]; !ok || og.Time < t {
+			avail[k] = og.Time
+			by[k] = -1
+		}
+	}
+	for _, id := range a.order {
+		n := &a.nodes[id]
+		if n.ev.Op != schedule.OpRecv {
+			continue
+		}
+		k := pi{n.ev.Proc, n.ev.Item}
+		at := n.end()
+		if t, ok := avail[k]; !ok || at < t {
+			avail[k] = at
+			by[k] = id
+		}
+	}
+	bestNode, bestT, havePI := -1, logp.Time(0), false
+	var bestK pi
+	for k, t := range avail {
+		if !havePI || t > bestT || (t == bestT && (k.proc < bestK.proc || (k.proc == bestK.proc && k.item < bestK.item))) {
+			havePI, bestT, bestK, bestNode = true, t, k, by[k]
+		}
+	}
+	for _, id := range a.order {
+		n := &a.nodes[id]
+		if n.ev.Op == schedule.OpCompute && (n.end() > bestT || !havePI) {
+			havePI, bestT, bestNode = true, n.end(), id
+		}
+	}
+	if !havePI {
+		return -1, 0
+	}
+	return bestNode, bestT
+}
+
+// binding returns the constraint with the latest bound (ties broken by kind
+// order, then predecessor index) and reports whether any constraint exists.
+func (a *analyzer) binding(id int) (constraint, bool) {
+	n := &a.nodes[id]
+	if len(n.cons) == 0 {
+		return constraint{}, false
+	}
+	best := n.cons[0]
+	for _, c := range n.cons[1:] {
+		if c.bound > best.bound ||
+			(c.bound == best.bound && (c.kind > best.kind ||
+				(c.kind == best.kind && c.from < best.from))) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// walk extracts the critical path ending at finNode and its breakdown. The
+// decomposition telescopes exactly to finTime.
+func (a *analyzer) walk(finNode int, finTime logp.Time) ([]Step, Breakdown) {
+	var bd Breakdown
+	if finNode < 0 {
+		bd.Origin = finTime // an origin injection (or nothing) realizes the finish
+		return nil, bd
+	}
+	fin := &a.nodes[finNode]
+	switch fin.ev.Op {
+	case schedule.OpCompute:
+		bd.Compute += fin.dur
+	default:
+		bd.Overhead += fin.dur // the final reception's own overhead
+	}
+	var rev []Step
+	id := finNode
+	for {
+		n := &a.nodes[id]
+		c, ok := a.binding(id)
+		if !ok {
+			rev = append(rev, Step{Event: n.ev, Index: id, Kind: KindStart, Slack: n.start})
+			bd.Wait += n.start
+			break
+		}
+		rev = append(rev, Step{Event: n.ev, Index: id, Kind: c.kind, Slack: n.start - c.bound})
+		bd.Wait += n.start - c.bound
+		switch c.kind {
+		case KindLatency:
+			bd.Latency += a.m.L
+			bd.Overhead += a.m.O
+		case KindGap:
+			bd.Gap += a.m.G
+		case KindBusy, KindAvail:
+			bd.Overhead += a.nodes[c.from].dur
+		case KindCompute:
+			bd.Compute += a.nodes[c.from].dur
+		case KindOrigin:
+			bd.Origin += c.bound
+		}
+		if c.from < 0 || c.kind == KindOrigin {
+			break
+		}
+		id = c.from
+	}
+	path := make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, bd
+}
+
+// slacks runs the backward pass: for every node, the latest start that moves
+// neither the finish time nor any successor past its own latest start. The
+// returned slice is indexed by node id; negative slack marks a constraint
+// the trace violated.
+func (a *analyzer) slacks(finTime logp.Time) []logp.Time {
+	latest := make([]logp.Time, len(a.nodes))
+	for id := range a.nodes {
+		latest[id] = finTime - a.nodes[id].dur
+	}
+	// Process in reverse causal order: descending start; among equal starts
+	// sends first, so an o=0 availability edge (recv -> send at the same
+	// instant) sees its successor's final value.
+	order := make([]int, len(a.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		p, q := &a.nodes[order[x]], &a.nodes[order[y]]
+		if p.start != q.start {
+			return p.start > q.start
+		}
+		if p.ev.Op != q.ev.Op {
+			return p.ev.Op < q.ev.Op
+		}
+		return order[x] < order[y]
+	})
+	for _, id := range order {
+		n := &a.nodes[id]
+		for _, c := range n.cons {
+			if c.from < 0 {
+				continue
+			}
+			// The constraint is start(n) >= start(from) + delta, so from may
+			// start no later than latest(n) - delta.
+			delta := c.bound - a.nodes[c.from].start
+			if lim := latest[id] - delta; lim < latest[c.from] {
+				latest[c.from] = lim
+			}
+		}
+	}
+	out := make([]logp.Time, len(a.nodes))
+	for id := range a.nodes {
+		out[id] = latest[id] - a.nodes[id].start
+	}
+	return out
+}

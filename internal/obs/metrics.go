@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -92,6 +93,52 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[b]++
 	h.mu.Unlock()
 }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0, 1]):
+// the largest value of the first power-of-two bucket whose cumulative count
+// reaches q of all observations. Exact for values that are one less than a
+// power of two; otherwise within a factor of two, which is the histogram's
+// resolution. Returns 0 on an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			return int64(1)<<uint(b) - 1
+		}
+	}
+	return math.MaxInt64 // unreachable: cum == count >= rank by then
+}
+
+// P50 returns the median estimate.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// P90 returns the 90th-percentile estimate.
+func (h *Histogram) P90() int64 { return h.Quantile(0.90) }
+
+// P99 returns the 99th-percentile estimate.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {

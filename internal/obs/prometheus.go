@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// promName maps a dotted registry metric name to a valid Prometheus metric
+// name: the logpopt_ namespace prefix, with every character outside
+// [a-zA-Z0-9_:] replaced by '_'.
+func promName(name string) string {
+	b := []byte("logpopt_" + name)
+	for i := 8; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Counters become `<name>_total` counter
+// series; gauges become two gauge series, the value and its `_max`
+// high-water mark; histograms become summary series with p50/p90/p99
+// quantile labels plus `_sum` and `_count`. Output is sorted by kind then
+// name, like Snapshot, so it is deterministic for a given set of recorded
+// values. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var cns, gns, hns []string
+	for n := range r.counters {
+		cns = append(cns, n)
+	}
+	for n := range r.gauges {
+		gns = append(gns, n)
+	}
+	for n := range r.hists {
+		hns = append(hns, n)
+	}
+	counters, gauges, hists := r.counters, r.gauges, r.hists
+	r.mu.Unlock()
+	sort.Strings(cns)
+	sort.Strings(gns)
+	sort.Strings(hns)
+
+	for _, n := range cns {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s_total Counter %q.\n# TYPE %s_total counter\n%s_total %d\n",
+			pn, n, pn, pn, counters[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gns {
+		g := gauges[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s Gauge %q.\n# TYPE %s gauge\n%s %d\n"+
+				"# HELP %s_max High-water mark of gauge %q.\n# TYPE %s_max gauge\n%s_max %d\n",
+			pn, n, pn, pn, g.Value(), pn, n, pn, pn, g.Max()); err != nil {
+			return err
+		}
+	}
+	for _, n := range hns {
+		h := hists[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s Power-of-two histogram %q (quantiles are bucket upper bounds).\n# TYPE %s summary\n",
+			pn, n, pn); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50()}, {"0.9", h.P90()}, {"0.99", h.P99()}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", pn, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum(), pn, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.P50() != 0 || h.P99() != 0 {
+		t.Fatal("empty histogram must report zero quantiles")
+	}
+	// 90 values in [1,1] (bucket 1, upper bound 1), 9 in [4,7] (bucket 3,
+	// upper bound 7), 1 at 1000 (bucket 10, upper bound 1023).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(5)
+	}
+	h.Observe(1000)
+	if got := h.P50(); got != 1 {
+		t.Errorf("P50 = %d, want 1", got)
+	}
+	if got := h.P90(); got != 1 {
+		t.Errorf("P90 = %d, want 1 (rank 90 of 100 is the last 1)", got)
+	}
+	if got := h.P99(); got != 7 {
+		t.Errorf("P99 = %d, want 7", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("Quantile(1) = %d, want 1023", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want the minimum bucket bound 1", got)
+	}
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Errorf("Quantile clamps below 0: got %d", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile must be 0")
+	}
+	z := &Histogram{}
+	z.Observe(0)
+	z.Observe(-4)
+	if z.P99() != 0 {
+		t.Errorf("non-positive observations live in bucket 0: P99 = %d", z.P99())
+	}
+}
+
+// promLine matches every legal non-empty line of the text exposition format
+// as we emit it: comments, or a sample with an optional single quantile
+// label and an integer value.
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="[0-9.]+"\})? -?[0-9]+)$`)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.replays").Add(3)
+	r.Gauge("sweep.workers").Set(4)
+	r.Gauge("sweep.workers").Set(2)
+	h := r.Histogram("sim.recv wait")
+	h.Observe(1)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line fails Prometheus text grammar: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE logpopt_sim_replays_total counter\nlogpopt_sim_replays_total 3\n",
+		"logpopt_sweep_workers 2\n",
+		"logpopt_sweep_workers_max 4\n",
+		"# TYPE logpopt_sim_recv_wait summary\n",
+		`logpopt_sim_recv_wait{quantile="0.5"} 1` + "\n",
+		`logpopt_sim_recv_wait{quantile="0.99"} 15` + "\n",
+		"logpopt_sim_recv_wait_sum 10\n",
+		"logpopt_sim_recv_wait_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	var nilR *Registry
+	b.Reset()
+	if err := nilR.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry: err=%v out=%q", err, b.String())
+	}
+}

@@ -1,0 +1,150 @@
+// Package serve exposes the process's observability surface over HTTP: the
+// metrics registry in Prometheus text format at /metrics, the Go runtime
+// profiles at /debug/pprof/, and completed Chrome-trace JSON documents at
+// /traces/. The CLIs mount it behind a -serve :addr flag so a long bench or
+// conformance sweep can be inspected while it runs.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+
+	"logpopt/internal/obs"
+)
+
+// Server is an HTTP front end over a metrics registry and a set of named
+// trace documents. The zero value is not usable; call New.
+type Server struct {
+	reg *obs.Registry
+
+	mu     sync.Mutex
+	traces map[string]func() ([]byte, error)
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// New returns a server exposing reg. A nil reg serves the process-wide
+// obs.Default registry.
+func New(reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Server{reg: reg, traces: map[string]func() ([]byte, error){}}
+}
+
+// AddTrace registers a completed trace document under /traces/<name>. The
+// bytes are served verbatim with a JSON content type.
+func (s *Server) AddTrace(name string, data []byte) {
+	s.mu.Lock()
+	s.traces[name] = func() ([]byte, error) { return data, nil }
+	s.mu.Unlock()
+}
+
+// AddTracer registers a live tracer under /traces/<name>; each request
+// renders the events recorded so far, so a trace can be pulled mid-run.
+func (s *Server) AddTracer(name string, t *obs.Tracer) {
+	s.mu.Lock()
+	s.traces[name] = func() ([]byte, error) {
+		var b bytes.Buffer
+		if err := t.WriteJSON(&b); err != nil {
+			return nil, err
+		}
+		return b.Bytes(), nil
+	}
+	s.mu.Unlock()
+}
+
+// Handler returns the routing table. It is also what Start serves.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/traces/", s.trace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a background
+// goroutine. It returns the bound address, e.g. "127.0.0.1:43321".
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry server: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close.
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener started by Start. Safe to call without Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "logpopt telemetry\n\n")
+	fmt.Fprintf(w, "/metrics       metrics registry, Prometheus text format\n")
+	fmt.Fprintf(w, "/debug/pprof/  Go runtime profiles\n")
+	fmt.Fprintf(w, "/traces/       completed trace documents (Chrome trace JSON)\n")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client disconnects only
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Path[len("/traces/"):]
+	if name == "" {
+		s.mu.Lock()
+		names := make([]string, 0, len(s.traces))
+		for n := range s.traces {
+			names = append(names, n)
+		}
+		s.mu.Unlock()
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, n := range names {
+			fmt.Fprintf(w, "/traces/%s\n", n)
+		}
+		return
+	}
+	s.mu.Lock()
+	get := s.traces[name]
+	s.mu.Unlock()
+	if get == nil {
+		http.NotFound(w, r)
+		return
+	}
+	data, err := get()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client disconnects only
+}

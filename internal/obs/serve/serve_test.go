@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"logpopt/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String(), rr.Header()
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("sim.replays").Add(7)
+	s := New(reg)
+	tr := obs.NewTracer()
+	tr.Span(0, 0, "send", 0, 2)
+	s.AddTracer("run1", tr)
+	s.AddTrace("done", []byte(`{"traceEvents":[]}`))
+	h := s.Handler()
+
+	code, body, _ := get(t, h, "/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+	code, _, _ = get(t, h, "/nope")
+	if code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+
+	code, body, hdr := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "logpopt_sim_replays_total 7") {
+		t.Fatalf("metrics: code %d body %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type %q", ct)
+	}
+
+	code, body, _ = get(t, h, "/traces/")
+	if code != 200 || !strings.Contains(body, "/traces/run1") || !strings.Contains(body, "/traces/done") {
+		t.Fatalf("trace index: code %d body %q", code, body)
+	}
+	code, body, hdr = get(t, h, "/traces/run1")
+	if code != 200 || !strings.Contains(body, `"traceEvents"`) || !strings.Contains(body, `"send"`) {
+		t.Fatalf("live trace: code %d body %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type %q", ct)
+	}
+	code, body, _ = get(t, h, "/traces/done")
+	if code != 200 || body != `{"traceEvents":[]}` {
+		t.Fatalf("static trace: code %d body %q", code, body)
+	}
+	code, _, _ = get(t, h, "/traces/missing")
+	if code != 404 {
+		t.Errorf("missing trace: code %d, want 404", code)
+	}
+
+	code, _, _ = get(t, h, "/debug/pprof/")
+	if code != 200 {
+		t.Errorf("pprof index: code %d", code)
+	}
+}
+
+func TestStartClose(t *testing.T) {
+	s := New(nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("live /metrics: %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close must be a no-op:", err)
+	}
+}

@@ -36,6 +36,11 @@ var (
 	mRecvs      = obs.Default.Counter("sim.recvs")
 	mCapChecks  = obs.Default.Counter("sim.capacity.checks")
 	mViolations = obs.Default.Counter("sim.violations")
+	// Port-wait distribution: cycles a message sat in a Buffered-mode input
+	// buffer between arrival and reception. Observed only for positive waits
+	// — strict-mode receptions and immediate drains stay off the histogram's
+	// mutex, keeping the hot path to plain counter tallies.
+	mRecvWait = obs.Default.Histogram("sim.recv.wait.cycles")
 )
 
 // Mode selects the reception discipline.
@@ -430,6 +435,9 @@ func (e *Engine) receive(msg Msg, t logp.Time) {
 		ps.avail[msg.Item] = availAt
 	}
 	e.executed.Recv(msg.To, t, msg.Item, msg.From)
+	if wait := t - msg.Arrive; wait > 0 {
+		mRecvWait.Observe(int64(wait))
+	}
 	if e.Tracer != nil {
 		pid := e.tracePID()
 		e.Tracer.Span(pid, msg.To, "recv", int64(t), int64(e.M.O),

@@ -16,7 +16,13 @@ import (
 //
 // Colors: sends #4a7bd0 (blue), receives #4fa36a (green), compute #c9a23a
 // (amber), message lines gray.
-func SVG(s *schedule.Schedule) string {
+func SVG(s *schedule.Schedule) string { return SVGHighlight(s, nil) }
+
+// SVGHighlight renders the same timeline with the events whose indices (into
+// s.Events) appear in critical outlined in red, and the message flights
+// between two highlighted endpoints drawn as solid red lines — the annotated
+// critical-path lane `logpsched -explain -render svg` emits.
+func SVGHighlight(s *schedule.Schedule, critical map[int]bool) string {
 	const (
 		cell    = 14 // pixels per cycle
 		laneH   = 18
@@ -35,7 +41,21 @@ func SVG(s *schedule.Schedule) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
 	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
-	fmt.Fprintf(&b, `<text x="%d" y="16">%s — makespan %d</text>`+"\n", leftPad, escape(m.String()), s.Makespan())
+	title := fmt.Sprintf("%s — makespan %d", m.String(), s.Makespan())
+	if len(critical) > 0 {
+		title += " — critical path in red"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="16">%s</text>`+"\n", leftPad, escape(title))
+
+	// A reception is on a highlighted flight when it and its matching send
+	// are both on the critical path.
+	type mkey struct{ from, to, item int }
+	criticalRecv := map[mkey]bool{}
+	for i, e := range s.Events {
+		if critical[i] && e.Op == schedule.OpRecv {
+			criticalRecv[mkey{e.Peer, e.Proc, e.Item}] = true
+		}
+	}
 
 	laneY := func(p int) int { return topPad + p*(laneH+laneGap) }
 	xAt := func(t logp.Time) int { return leftPad + int(t)*cell }
@@ -59,31 +79,39 @@ func SVG(s *schedule.Schedule) string {
 	if span < 1 {
 		span = 1
 	}
-	block := func(p int, at logp.Time, dur logp.Time, color, title string) {
-		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s</title></rect>`+"\n",
-			xAt(at), laneY(p), int(dur)*cell-1, laneH, color, escape(title))
+	block := func(p int, at logp.Time, dur logp.Time, color, title string, hot bool) {
+		outline := ""
+		if hot {
+			outline = ` stroke="#d03a3a" stroke-width="2"`
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"%s><title>%s</title></rect>`+"\n",
+			xAt(at), laneY(p), int(dur)*cell-1, laneH, color, outline, escape(title))
 	}
 	// Message lines first (under the blocks).
-	for _, e := range s.Events {
+	for i, e := range s.Events {
 		if e.Op != schedule.OpSend {
 			continue
 		}
 		arrive := e.Time + m.O + m.L
-		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#bbbbbb" stroke-dasharray="3,2"/>`+"\n",
+		style := `stroke="#bbbbbb" stroke-dasharray="3,2"`
+		if critical[i] && criticalRecv[mkey{e.Proc, e.Peer, e.Item}] {
+			style = `stroke="#d03a3a" stroke-width="2"`
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" %s/>`+"\n",
 			xAt(e.Time)+cell/2, laneY(e.Proc)+laneH/2,
-			xAt(arrive)+cell/2, laneY(e.Peer)+laneH/2)
+			xAt(arrive)+cell/2, laneY(e.Peer)+laneH/2, style)
 	}
-	for _, e := range s.Events {
+	for i, e := range s.Events {
 		switch e.Op {
 		case schedule.OpSend:
 			block(e.Proc, e.Time, span, "#4a7bd0",
-				fmt.Sprintf("P%d sends item %d to P%d at %d", e.Proc, e.Item, e.Peer, e.Time))
+				fmt.Sprintf("P%d sends item %d to P%d at %d", e.Proc, e.Item, e.Peer, e.Time), critical[i])
 		case schedule.OpRecv:
 			block(e.Proc, e.Time, span, "#4fa36a",
-				fmt.Sprintf("P%d receives item %d from P%d at %d", e.Proc, e.Item, e.Peer, e.Time))
+				fmt.Sprintf("P%d receives item %d from P%d at %d", e.Proc, e.Item, e.Peer, e.Time), critical[i])
 		case schedule.OpCompute:
 			block(e.Proc, e.Time, e.Dur, "#c9a23a",
-				fmt.Sprintf("P%d computes (tag %d) at %d for %d", e.Proc, e.Item, e.Time, e.Dur))
+				fmt.Sprintf("P%d computes (tag %d) at %d for %d", e.Proc, e.Item, e.Time, e.Dur), critical[i])
 		}
 	}
 	b.WriteString("</svg>\n")
