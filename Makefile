@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json bench-gate trace-smoke fuzz conform vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke fuzz conform vet fmt examples reproduce clean
 
 all: build test
 
@@ -23,10 +23,14 @@ bench:
 
 # Machine-readable benchmark results (BENCH_3.json): wall time plus the
 # solver/sim effort counters the benchmarks report via b.ReportMetric
-# (nodes/op, prunes/op, memohits/op, events/op land in each entry's "extra").
+# (nodes/op, prunes/op, memohits/op, events/op, events/sec, peak_rss_bytes
+# land in each entry's "extra"). The scale sweep (P up to 1e6) runs in a
+# second invocation with a fixed iteration count so the million-processor
+# benchmarks bound the suite's wall time instead of filling a benchtime.
 bench-json:
-	$(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
-		./internal/continuous/ ./internal/bench/ ./internal/sim/ \
+	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
+		./internal/continuous/ ./internal/bench/ ./internal/sim/ ; \
+	  $(GO) test -bench='Scale' -benchtime 2x -benchmem -run=^$$ ./internal/bench/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_3.json
 	@cat BENCH_3.json
 
@@ -34,12 +38,25 @@ bench-json:
 # committed baseline (BENCH_3.json) with cmd/benchdiff. Local runs hard-fail
 # on any metric past its threshold; on CI (the CI env var is set) the gate
 # only warns, because shared runners are too noisy for wall-time thresholds.
+# The scale metrics gate direction-aware: events/sec on drops, peak RSS on
+# growth, both with generous fractions since they ride on wall time.
 bench-gate:
-	$(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
-		./internal/continuous/ ./internal/bench/ ./internal/sim/ \
+	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
+		./internal/continuous/ ./internal/bench/ ./internal/sim/ ; \
+	  $(GO) test -bench='Scale' -benchtime 2x -benchmem -run=^$$ ./internal/bench/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_gate.json
-	$(GO) run ./cmd/benchdiff $(if $(CI),,-strict) BENCH_3.json BENCH_gate.json
+	$(GO) run ./cmd/benchdiff $(if $(CI),,-strict) \
+		-extra 'events/sec=0.25,peak_rss_bytes=0.25' \
+		BENCH_3.json BENCH_gate.json
 	@rm -f BENCH_gate.json
+
+# Scale smoke: the P=1e5 tier of the million-processor benchmarks under the
+# race detector, one iteration each. This is the cheap standing proof that
+# the sharded flight queue and the chunked worker pool stay data-race-free
+# at a size where every shard and every worker is busy.
+bench-scale:
+	$(GO) test -race -bench='Scale.*/P100000$$' -benchtime 1x -benchmem -run=^$$ \
+		./internal/bench/
 
 # Smoke-test the observability layer: compile a schedule with -trace on and
 # assert the emitted file is non-empty, Perfetto-loadable trace JSON.

@@ -2,21 +2,52 @@
 // cmd/benchjson and reports per-metric deltas:
 //
 //	benchdiff [-ns 0.10] [-bytes 0.10] [-allocs 0] [-strict] [-v] old.json new.json
+//	benchdiff -extra 'events/sec=0.15,peak_rss_bytes=0.10' old.json new.json
 //
-// A metric counts as a regression when its fractional increase exceeds the
-// metric's threshold (-ns/-bytes/-allocs; negative disables a metric). By
-// default benchdiff only warns — it prints the regressions and exits 0, so
-// noisy CI runners don't block merges. With -strict it exits 1 when any
-// regression is found; `make bench-gate` passes -strict for local runs.
+// A metric counts as a regression when its fractional change for the worse
+// exceeds the metric's threshold (-ns/-bytes/-allocs; negative disables a
+// metric). -extra gates metrics benchmarks reported via b.ReportMetric,
+// keyed by unit: units ending in /sec or /s are rates where a DROP beyond
+// the threshold regresses; anything else regresses when it grows, like
+// ns/op. Extra metrics not named in -extra are compared and printed but
+// never gate. By default benchdiff only warns — it prints the regressions
+// and exits 0, so noisy CI runners don't block merges. With -strict it exits
+// 1 when any regression is found; `make bench-gate` passes -strict for local
+// runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"logpopt/internal/benchcmp"
 )
+
+// parseExtra turns "events/sec=0.15,peak_rss_bytes=0.10" into a threshold
+// map. Units may themselves contain '/', so only the last '=' of each
+// comma-separated entry splits unit from fraction.
+func parseExtra(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		i := strings.LastIndex(entry, "=")
+		if i <= 0 {
+			return nil, fmt.Errorf("bad -extra entry %q (want unit=fraction)", entry)
+		}
+		v, err := strconv.ParseFloat(entry[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -extra threshold in %q: %v", entry, err)
+		}
+		out[entry[:i]] = v
+	}
+	return out, nil
+}
 
 func main() {
 	ns := flag.Float64("ns", benchcmp.DefaultThresholds.NsPerOp,
@@ -25,6 +56,8 @@ func main() {
 		"allowed fractional B/op increase; negative disables")
 	allocs := flag.Float64("allocs", benchcmp.DefaultThresholds.AllocsOp,
 		"allowed fractional allocs/op increase (0 = exact); negative disables")
+	extra := flag.String("extra", "",
+		"comma-separated unit=fraction thresholds for extra metrics, e.g. 'events/sec=0.15,peak_rss_bytes=0.10'; /sec units gate on drops, others on growth")
 	strict := flag.Bool("strict", false, "exit 1 when any regression is found")
 	verbose := flag.Bool("v", false, "list every compared metric, not only regressions")
 	flag.Usage = func() {
@@ -47,8 +80,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	extraTh, err := parseExtra(*extra)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
 	rep := benchcmp.Compare(old, cur, benchcmp.Thresholds{
-		NsPerOp: *ns, BytesOp: *bytesOp, AllocsOp: *allocs,
+		NsPerOp: *ns, BytesOp: *bytesOp, AllocsOp: *allocs, Extra: extraTh,
 	})
 	rep.Write(os.Stdout, *verbose)
 	if rep.Regressions > 0 {

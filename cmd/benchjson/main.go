@@ -7,16 +7,27 @@
 // stripped into its own field), iteration count, ns/op, the total measured
 // wall time in seconds (iterations x ns/op), and — when -benchmem was on —
 // B/op and allocs/op. Any other (value, unit) pair a benchmark reported via
-// b.ReportMetric (nodes/op, memohits/op, events/op, ...) lands verbatim in
-// the "extra" map. Lines that are not benchmark results are ignored, so the
-// full `go test` output can be piped in unfiltered.
+// b.ReportMetric (nodes/op, memohits/op, events/sec, peak_rss_bytes, ...)
+// lands verbatim in the "extra" map. Lines that are not benchmark results
+// are ignored, so the full `go test` output can be piped in unfiltered.
+//
+// GOMAXPROCS handling: go test appends "-N" to a result's name only when it
+// ran with GOMAXPROCS=N != 1, and benchmark names themselves may end in
+// "-<digits>" (sub-benchmark cases), so a bare LastIndex strip misattributes
+// those digits as a processor count and records parallel runs under the
+// serial default. benchjson therefore only strips a trailing "-N" when N
+// matches the GOMAXPROCS the `go test` run actually used — its own
+// runtime.GOMAXPROCS, overridable with -gomaxprocs when converting output
+// recorded elsewhere.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -33,7 +44,12 @@ type result struct {
 	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
-func parseLine(line string) (result, bool) {
+// parseLine converts one benchmark result line. procs is the GOMAXPROCS the
+// run used: a trailing "-procs" on the name is the framework's suffix and is
+// stripped; any other trailing "-<digits>" belongs to the benchmark's own
+// name (a sub-benchmark case) and is kept, with the run recorded as serial —
+// go test only omits the suffix when GOMAXPROCS was 1.
+func parseLine(line string, procs int) (result, bool) {
 	var r result
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -41,11 +57,9 @@ func parseLine(line string) (result, bool) {
 	}
 	name := fields[0]
 	r.GoMaxProcs = 1
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if n, err := strconv.Atoi(name[i+1:]); err == nil {
-			r.GoMaxProcs = n
-			name = name[:i]
-		}
+	if suffix := fmt.Sprintf("-%d", procs); procs != 1 && strings.HasSuffix(name, suffix) {
+		r.GoMaxProcs = procs
+		name = strings.TrimSuffix(name, suffix)
 	}
 	r.Name = name
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -78,6 +92,9 @@ func parseLine(line string) (result, bool) {
 }
 
 func main() {
+	procs := flag.Int("gomaxprocs", runtime.GOMAXPROCS(0),
+		"GOMAXPROCS the benchmark run used (the \"-N\" name suffix go test appends); defaults to this process's value, override when converting output recorded on another machine")
+	flag.Parse()
 	var results []result
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -88,7 +105,7 @@ func main() {
 			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
 		}
-		if r, ok := parseLine(line); ok {
+		if r, ok := parseLine(line, *procs); ok {
 			r.Package = pkg
 			results = append(results, r)
 		}

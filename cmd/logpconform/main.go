@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	logpconform [-seeds N] [-start S] [-paper=false] [-v]
+//	logpconform [-seeds N] [-start S] [-paper=false] [-scale 64,1024,100000] [-v]
 //	logpconform -trace run.json -metrics -dumpdir conform-traces
+//
+// -scale adds large-P broadcast and reduction cases at the given processor
+// counts — the sizes where the simulator's sharded flight queue and the
+// runtime's worker pool engage — on top of the paper and random corpora.
 //
 // On divergence, the minimal shrunk case is automatically replayed once per
 // backend with a flight recorder attached and the per-backend Chrome traces
@@ -25,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"logpopt/internal/cliutil"
 	"logpopt/internal/conform"
@@ -35,6 +41,7 @@ func main() {
 	seeds := flag.Int("seeds", 500, "number of random seeds to check")
 	start := flag.Int64("start", 0, "first random seed")
 	paper := flag.Bool("paper", true, "also check every paper schedule constructor")
+	scale := flag.String("scale", "", "comma-separated processor counts for large-P scale cases, e.g. 64,1024,100000 (default: off)")
 	verbose := flag.Bool("v", false, "print every case as it is checked")
 	traceOut := flag.String("trace", "", cliutil.TraceUsage)
 	metrics := flag.Bool("metrics", false, cliutil.MetricsUsage)
@@ -95,6 +102,19 @@ func main() {
 
 	if *paper {
 		for _, c := range conform.PaperCases() {
+			runCase(c)
+		}
+	}
+	if *scale != "" {
+		var ps []int
+		for _, f := range strings.Split(*scale, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || p < 2 {
+				fail(fmt.Errorf("bad -scale entry %q (want processor counts >= 2)", f))
+			}
+			ps = append(ps, p)
+		}
+		for _, c := range conform.ScaleCases(ps...) {
 			runCase(c)
 		}
 	}

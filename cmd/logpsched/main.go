@@ -67,10 +67,17 @@ func main() {
 
 	// The tracer sees two time bases on separate process tracks: wall-clock
 	// microseconds for the solver portfolio (pid 4) and virtual LogP cycles
-	// for the simulated replay (the simulator's default pid).
+	// for the simulated replay (the simulator's default pid). Events stream
+	// incrementally to the output file, so even million-processor replays
+	// never hold the span backlog in memory.
 	var tracer *obs.Tracer
+	var closeTrace func() error
 	if *traceOut != "" {
-		tracer = obs.NewTracer()
+		var terr error
+		tracer, closeTrace, terr = cliutil.StreamTrace("logpsched", *traceOut)
+		if terr != nil {
+			fail(terr)
+		}
 		tracer.NameProcess(4, "solver portfolio (wall µs)")
 		par.SetTracer(tracer, 4)
 	}
@@ -176,7 +183,7 @@ func main() {
 		eng := sim.New(s.M, sim.Strict)
 		eng.Tracer = tracer
 		eng.Replay(s, conform.DerivedOrigins(s))
-		if err := cliutil.WriteTrace("logpsched", tracer, *traceOut); err != nil {
+		if err := closeTrace(); err != nil {
 			fail(err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Result mirrors one cmd/benchjson record.
@@ -42,23 +43,37 @@ func Load(path string) ([]Result, error) {
 	return rs, nil
 }
 
-// Thresholds holds the allowed fractional increase per metric: 0.20 means a
-// new value up to 20% above the old one passes. A negative threshold
+// Thresholds holds the allowed fractional regression per metric: 0.20 means
+// a new value up to 20% worse than the old one passes. A negative threshold
 // disables the check for that metric.
+//
+// Extra gates metrics from the benchjson "extra" map (values a benchmark
+// reported via b.ReportMetric), keyed by unit string. Which direction counts
+// as worse follows the unit: rates ending in "/sec" or "/s" regress when
+// they DROP, everything else (peak_rss_bytes, nodes/op, ...) regresses when
+// it grows, like ns/op. An extra metric missing from Extra is reported but
+// never gates.
 type Thresholds struct {
 	NsPerOp  float64
 	BytesOp  float64
 	AllocsOp float64
+	Extra    map[string]float64
 }
 
 // DefaultThresholds tolerate typical runner noise on time but hold
 // allocation counts exact, since those are deterministic.
 var DefaultThresholds = Thresholds{NsPerOp: 0.10, BytesOp: 0.10, AllocsOp: 0}
 
+// HigherIsBetter reports whether a metric unit improves upward, i.e. whether
+// a fractional drop rather than a fractional rise is the regression.
+func HigherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/sec") || strings.HasSuffix(unit, "/s")
+}
+
 // Delta is one metric of one benchmark present in both files.
 type Delta struct {
 	Key        string // package.Name-gomaxprocs
-	Metric     string // "ns/op", "B/op", "allocs/op"
+	Metric     string // "ns/op", "B/op", "allocs/op", or an extra unit
 	Old, New   float64
 	Frac       float64 // (new-old)/old; +Inf when old == 0 and new > 0
 	Regression bool
@@ -127,6 +142,33 @@ func Compare(old, new []Result, th Thresholds) *Report {
 			}
 			d := Delta{Key: k, Metric: m.name, Old: m.old, New: m.new, Frac: frac(m.old, m.new)}
 			d.Regression = m.th >= 0 && d.Frac > m.th
+			if d.Regression {
+				rep.Regressions++
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+		// Extra metrics: compare every unit recorded in both results, in a
+		// stable order; gate only the units th.Extra names.
+		units := make([]string, 0, len(o.Extra))
+		for u := range o.Extra {
+			if _, ok := n.Extra[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, nv := o.Extra[u], n.Extra[u]
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			d := Delta{Key: k, Metric: u, Old: ov, New: nv, Frac: frac(ov, nv)}
+			if eth, gated := th.Extra[u]; gated && eth >= 0 {
+				if HigherIsBetter(u) {
+					d.Regression = -d.Frac > eth // regression is a drop
+				} else {
+					d.Regression = d.Frac > eth
+				}
+			}
 			if d.Regression {
 				rep.Regressions++
 			}

@@ -79,6 +79,64 @@ func TestCompareEdgeCases(t *testing.T) {
 	}
 }
 
+// TestExtraMetricGating exercises the direction-aware thresholds for
+// b.ReportMetric extras: /sec rates regress when they drop, byte counts when
+// they grow, and units absent from Thresholds.Extra are reported but never
+// gate.
+func TestExtraMetricGating(t *testing.T) {
+	old := Result{Name: "BenchmarkScale/P100000", GoMaxProcs: 4, Package: "p", NsPerOp: 100,
+		Extra: map[string]float64{"events/sec": 2_000_000, "peak_rss_bytes": 1 << 30, "nodes/op": 5}}
+	regressed := func(deltas []Delta, unit string) bool {
+		for _, d := range deltas {
+			if d.Metric == unit && d.Regression {
+				return true
+			}
+		}
+		return false
+	}
+	th := Thresholds{NsPerOp: -1, BytesOp: -1, AllocsOp: -1,
+		Extra: map[string]float64{"events/sec": 0.15, "peak_rss_bytes": 0.10}}
+
+	// 20% throughput drop beyond the 15% threshold: regression.
+	slow := old
+	slow.Extra = map[string]float64{"events/sec": 1_600_000, "peak_rss_bytes": 1 << 30, "nodes/op": 5}
+	rep := Compare([]Result{old}, []Result{slow}, th)
+	if !regressed(rep.Deltas, "events/sec") || rep.Regressions != 1 {
+		t.Errorf("20%% events/sec drop not flagged: %+v", rep.Deltas)
+	}
+
+	// 20% throughput GAIN must not trip the rate gate.
+	fast := old
+	fast.Extra = map[string]float64{"events/sec": 2_400_000, "peak_rss_bytes": 1 << 30, "nodes/op": 5}
+	if rep := Compare([]Result{old}, []Result{fast}, th); rep.Regressions != 0 {
+		t.Errorf("throughput gain flagged as regression: %+v", rep.Deltas)
+	}
+
+	// 25% RSS growth beyond the 10% threshold: regression (lower is better).
+	big := old
+	big.Extra = map[string]float64{"events/sec": 2_000_000, "peak_rss_bytes": 5 << 28, "nodes/op": 5}
+	if rep := Compare([]Result{old}, []Result{big}, th); !regressed(rep.Deltas, "peak_rss_bytes") {
+		t.Errorf("25%% peak RSS growth not flagged: %+v", rep.Deltas)
+	}
+
+	// Ungated unit may move freely but still shows up in the deltas.
+	noisy := old
+	noisy.Extra = map[string]float64{"events/sec": 2_000_000, "peak_rss_bytes": 1 << 30, "nodes/op": 50}
+	rep = Compare([]Result{old}, []Result{noisy}, th)
+	if rep.Regressions != 0 {
+		t.Errorf("ungated nodes/op gated anyway: %+v", rep.Deltas)
+	}
+	seen := false
+	for _, d := range rep.Deltas {
+		if d.Metric == "nodes/op" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Errorf("ungated extra metric missing from deltas: %+v", rep.Deltas)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load("testdata/absent.json"); err == nil {
 		t.Error("Load of a missing file must fail")

@@ -5,11 +5,13 @@
 package cliutil
 
 import (
+	"bufio"
 	"fmt"
 	"os"
 
 	"logpopt/internal/obs"
 	"logpopt/internal/obs/serve"
+	"logpopt/internal/trace"
 )
 
 // Usage strings shared by every command's flag definitions, defaults
@@ -42,6 +44,40 @@ func WriteTrace(cmd string, t *obs.Tracer, path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "%s: trace written to %s (%d events)\n", cmd, path, t.Len())
 	return nil
+}
+
+// StreamTrace opens path and returns a tracer that streams every event
+// straight to it through a bounded trace.Emitter, so tools tracing huge runs
+// (P ~ 10^6 replays) never hold the span backlog in memory. The returned
+// close function finalizes the JSON document, reports the uniform
+// confirmation line on stderr, and must be called exactly once.
+func StreamTrace(cmd, path string) (*obs.Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, WriteError("trace", path, err)
+	}
+	w := bufio.NewWriter(f)
+	em := trace.NewEmitter(w, 0)
+	t := obs.NewTracer()
+	t.StreamTo(em)
+	closer := func() error {
+		err := em.Close()
+		if err == nil {
+			err = t.StreamErr()
+		}
+		if err == nil {
+			err = w.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return WriteError("trace", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: trace streamed to %s (%d events)\n", cmd, path, t.Len())
+		return nil
+	}
+	return t, closer, nil
 }
 
 // WriteMetricsFile writes the default registry's Prometheus exposition to

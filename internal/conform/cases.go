@@ -90,6 +90,32 @@ func PaperCases() []Case {
 	return cs
 }
 
+// ScaleCases builds large-P conformance cases: the paper's optimal broadcast
+// on a general LogP machine and the reduction (summation tree) on a postal
+// machine, at each requested processor count. These are the cases the
+// million-processor engine work is graded on — the backends must stay in
+// lockstep not just on the small paper instances but where the sharded
+// flight queue and the worker-pool runtime actually engage.
+func ScaleCases(ps ...int) []Case {
+	var cs []Case
+	for _, p := range ps {
+		m := logp.MustNew(p, 6, 2, 4)
+		cs = append(cs, Case{
+			Name:    fmt.Sprintf("scale-broadcast/p%d", p),
+			S:       core.BroadcastSchedule(m, 0),
+			Origins: core.Origins(0),
+		})
+		pm := logp.Postal(p, 3)
+		red := combine.ReduceSchedule(pm, pm.P)
+		cs = append(cs, Case{
+			Name:    fmt.Sprintf("scale-reduce/p%d", p),
+			S:       red,
+			Origins: DerivedOrigins(red),
+		})
+	}
+	return cs
+}
+
 // DerivedOrigins injects every item at its earliest sender, at time zero.
 // Value-carrying schedules (reduce, scan, summation) move computed values
 // whose item ids have no external origin map; for replay purposes an item

@@ -21,11 +21,11 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 )
@@ -57,16 +57,30 @@ type event struct {
 	args     []Arg
 }
 
-// Tracer accumulates trace events in memory. Create one with NewTracer and
-// write it out once with WriteJSON/WriteFile. All methods are safe on a nil
-// receiver (no-op), so a *Tracer can be threaded through APIs unconditionally
-// and only checked where argument construction would otherwise cost.
+// Sink consumes pre-encoded trace-event JSON records one at a time. It is
+// declared structurally so obs stays dependency-free: trace.Emitter satisfies
+// it. The record bytes are only valid for the duration of the call.
+type Sink interface {
+	Emit(rec []byte) error
+}
+
+// Tracer accumulates trace events in memory, or — after StreamTo — encodes
+// each event as it is recorded and forwards it to a Sink, holding no span
+// backlog. Create one with NewTracer and write it out once with
+// WriteJSON/WriteFile (in-memory mode) or Close the sink (streaming mode).
+// All methods are safe on a nil receiver (no-op), so a *Tracer can be
+// threaded through APIs unconditionally and only checked where argument
+// construction would otherwise cost.
 //
 // Tracer is safe for concurrent use; events are kept in insertion order.
 type Tracer struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []event
+	mu       sync.Mutex
+	start    time.Time
+	events   []event
+	sink     Sink
+	streamed int
+	scratch  bytes.Buffer
+	sinkErr  error
 }
 
 // NewTracer returns an empty tracer whose wall clock (Now) starts at zero.
@@ -83,20 +97,65 @@ func (t *Tracer) Now() int64 {
 	return time.Since(t.start).Microseconds()
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of recorded events, including events already
+// forwarded to a streaming sink.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return len(t.events) + t.streamed
+}
+
+// StreamTo switches the tracer to streaming mode: every subsequently recorded
+// event is encoded immediately and handed to s instead of being accumulated,
+// so memory stays bounded regardless of run length. Events recorded before
+// the call are flushed to s first, in order. The caller owns the sink's
+// lifecycle (flush/close); the first sink error sticks and is returned by
+// StreamErr, after which further events are dropped.
+func (t *Tracer) StreamTo(s Sink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = s
+	for i := range t.events {
+		t.emitLocked(&t.events[i])
+	}
+	t.events = nil
+}
+
+// StreamErr reports the first error a streaming sink returned, if any.
+func (t *Tracer) StreamErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
 }
 
 func (t *Tracer) add(e event) {
 	t.mu.Lock()
-	t.events = append(t.events, e)
+	if t.sink != nil {
+		t.emitLocked(&e)
+	} else {
+		t.events = append(t.events, e)
+	}
 	t.mu.Unlock()
+}
+
+// emitLocked encodes one event into the reusable scratch buffer and forwards
+// it to the sink. Caller holds t.mu.
+func (t *Tracer) emitLocked(e *event) {
+	t.scratch.Reset()
+	writeEvent(&t.scratch, e)
+	t.streamed++
+	if err := t.sink.Emit(t.scratch.Bytes()); err != nil && t.sinkErr == nil {
+		t.sinkErr = err
+	}
 }
 
 // Span records a complete event: name ran on track (pid, tid) from ts for
@@ -144,7 +203,9 @@ func (t *Tracer) NameThread(pid, tid int, name string) {
 // WriteJSON emits the trace in Chrome trace-event JSON object form
 // ({"traceEvents": [...]}), which both Perfetto and chrome://tracing load.
 // The encoding is hand-rolled so output is deterministic (args keep their
-// recorded order) and the package stays dependency-free.
+// recorded order) and the package stays dependency-free. On a streaming
+// tracer the backlog is empty — the sink received the events — so WriteJSON
+// emits an empty document; close the sink instead.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
@@ -152,7 +213,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var b strings.Builder
+	var b bytes.Buffer
 	b.WriteString(`{"traceEvents":[`)
 	for i := range t.events {
 		if i > 0 {
@@ -162,7 +223,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		writeEvent(&b, &t.events[i])
 	}
 	b.WriteString("\n]}\n")
-	_, err := io.WriteString(w, b.String())
+	_, err := w.Write(b.Bytes())
 	return err
 }
 
@@ -179,7 +240,7 @@ func (t *Tracer) WriteFile(path string) error {
 	return f.Close()
 }
 
-func writeEvent(b *strings.Builder, e *event) {
+func writeEvent(b *bytes.Buffer, e *event) {
 	b.WriteString(`{"name":`)
 	writeString(b, e.name)
 	fmt.Fprintf(b, `,"ph":"%c","ts":%d`, e.ph, e.ts)
@@ -205,7 +266,7 @@ func writeEvent(b *strings.Builder, e *event) {
 	b.WriteByte('}')
 }
 
-func writeVal(b *strings.Builder, v any) {
+func writeVal(b *bytes.Buffer, v any) {
 	switch x := v.(type) {
 	case string:
 		writeString(b, x)
@@ -228,7 +289,7 @@ func writeVal(b *strings.Builder, v any) {
 
 // writeString writes a JSON string literal with the minimal escaping the
 // trace format needs (quotes, backslashes, control bytes).
-func writeString(b *strings.Builder, s string) {
+func writeString(b *bytes.Buffer, s string) {
 	b.WriteByte('"')
 	for i := 0; i < len(s); i++ {
 		c := s[i]

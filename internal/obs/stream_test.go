@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// recSink collects emitted records as strings.
+type recSink struct {
+	recs []string
+	err  error
+}
+
+func (s *recSink) Emit(rec []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.recs = append(s.recs, string(rec))
+	return nil
+}
+
+func record(t *Tracer) {
+	t.NameProcess(1, "sim")
+	t.Span(1, 0, "send", 10, 2, A("to", 3))
+	t.Instant(1, 3, "recv", 12)
+	t.Counter(1, "inflight", 12, 7)
+}
+
+// TestStreamToMatchesWriteJSON checks that streaming produces exactly the
+// records WriteJSON would have embedded, in order.
+func TestStreamToMatchesWriteJSON(t *testing.T) {
+	mem := NewTracer()
+	record(mem)
+	var doc strings.Builder
+	if err := mem.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &recSink{}
+	st := NewTracer()
+	st.StreamTo(sink)
+	record(st)
+
+	body := strings.TrimSuffix(strings.TrimPrefix(doc.String(), `{"traceEvents":[`), "\n]}\n")
+	var want []string
+	for _, line := range strings.Split(body, ",\n") {
+		want = append(want, strings.TrimPrefix(line, "\n"))
+	}
+	if len(sink.recs) != len(want) {
+		t.Fatalf("streamed %d records, WriteJSON embeds %d", len(sink.recs), len(want))
+	}
+	for i := range want {
+		if sink.recs[i] != want[i] {
+			t.Fatalf("record %d:\nstreamed %s\nembedded %s", i, sink.recs[i], want[i])
+		}
+	}
+	if st.Len() != mem.Len() {
+		t.Fatalf("Len: streamed %d, in-memory %d", st.Len(), mem.Len())
+	}
+}
+
+// TestStreamToFlushesBacklog checks that events recorded before StreamTo are
+// forwarded to the sink on attach, in order, and the backlog is released.
+func TestStreamToFlushesBacklog(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant(1, 0, "before", 1)
+	tr.Instant(1, 0, "after-soon", 2)
+	sink := &recSink{}
+	tr.StreamTo(sink)
+	tr.Instant(1, 0, "streamed", 3)
+	if len(sink.recs) != 3 {
+		t.Fatalf("sink saw %d records, want 3", len(sink.recs))
+	}
+	if !strings.Contains(sink.recs[0], "before") || !strings.Contains(sink.recs[2], "streamed") {
+		t.Fatalf("backlog order lost: %v", sink.recs)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if len(tr.events) != 0 {
+		t.Fatalf("backlog not released: %d events retained", len(tr.events))
+	}
+}
+
+func TestStreamErrSticks(t *testing.T) {
+	tr := NewTracer()
+	sink := &recSink{err: fmt.Errorf("sink broken")}
+	tr.StreamTo(sink)
+	tr.Instant(1, 0, "lost", 1)
+	if tr.StreamErr() == nil {
+		t.Fatal("StreamErr lost the sink error")
+	}
+}
+
+// TestStreamingDoesNotAccumulate checks the point of the exercise: a
+// streaming tracer's memory footprint does not grow with event count.
+func TestStreamingDoesNotAccumulate(t *testing.T) {
+	tr := NewTracer()
+	sink := &recSink{}
+	tr.StreamTo(sink)
+	for i := 0; i < 10000; i++ {
+		tr.Instant(1, 0, "e", int64(i))
+	}
+	if len(tr.events) != 0 {
+		t.Fatalf("streaming tracer retained %d events", len(tr.events))
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", tr.Len())
+	}
+}

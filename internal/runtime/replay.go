@@ -42,6 +42,23 @@ func replayHandlers(s *schedule.Schedule, origins map[int]schedule.Origin, check
 			perProc[ev.Proc] = append(perProc[ev.Proc], ev)
 		}
 	}
+	// Group origins by owning processor up front: scanning the whole origin
+	// map once per processor is O(P * items), which at P ~ 1e5 with one item
+	// per processor (reduce, summation) turns handler construction into
+	// minutes of map iteration.
+	type originAt struct {
+		item int
+		at   logp.Time
+	}
+	var originsByProc [][]originAt
+	if checkAvail {
+		originsByProc = make([][]originAt, s.M.P)
+		for item, og := range origins {
+			if og.Proc >= 0 && og.Proc < s.M.P {
+				originsByProc[og.Proc] = append(originsByProc[og.Proc], originAt{item, og.Time})
+			}
+		}
+	}
 	o := s.M.O
 	handlers := make([]Handler, s.M.P)
 	for p := range perProc {
@@ -63,12 +80,10 @@ func replayHandlers(s *schedule.Schedule, origins map[int]schedule.Origin, check
 		})
 		var avail map[int]logp.Time
 		if checkAvail {
-			avail = make(map[int]logp.Time)
-			for item, og := range origins {
-				if og.Proc == p {
-					if cur, ok := avail[item]; !ok || og.Time < cur {
-						avail[item] = og.Time
-					}
+			avail = make(map[int]logp.Time, len(originsByProc[p]))
+			for _, oa := range originsByProc[p] {
+				if cur, ok := avail[oa.item]; !ok || oa.at < cur {
+					avail[oa.item] = oa.at
 				}
 			}
 		}

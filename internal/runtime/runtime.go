@@ -1,17 +1,28 @@
 // Package runtime is a goroutine-based message-passing runtime that executes
-// LogP algorithms as real concurrent programs. One goroutine runs per
-// processor; a coordinator advances a virtual clock in lockstep steps, and
-// messages travel between goroutines with the machine's latency while the
-// ports obey the overhead and gap rules.
+// LogP algorithms as real concurrent programs. A worker pool multiplexes the
+// P processors onto GOMAXPROCS workers; a coordinator advances a virtual
+// clock in lockstep steps, and messages travel between processors with the
+// machine's latency while the ports obey the overhead and gap rules.
 //
 // This is the repository's stand-in for the distributed-memory hardware the
 // paper targets: the algorithms' communication schedules run unmodified as
 // concurrent message-passing code, with payloads (not just item ids) so that
 // combining and summation actually compute.
 //
-// Determinism: each processor goroutine touches only its own state during a
-// step; the coordinator merges outboxes in processor order, so runs are
-// reproducible despite real concurrency.
+// Each step runs in three phases. Phase A (coordinator): arrivals due this
+// step move from the in-flight set to per-processor queues. Phase B
+// (parallel): workers claim contiguous processor chunks and, per processor,
+// apply the reception discipline and run the handler — touching only that
+// processor's state. Phase C (coordinator): outboxes, trace events, and
+// recorded violations are collected in processor order. The original design
+// spawned one goroutine per processor per step, which at P ~ 10^6 meant a
+// million goroutine launches and an O(P) barrier every virtual cycle; the
+// chunked pool does the same work with GOMAXPROCS launches per step and
+// skips idle processors during collection.
+//
+// Determinism: each processor's state is touched only by the worker that
+// owns its chunk during phase B; phase C merges in processor order, so runs
+// are reproducible despite real concurrency.
 //
 // Violation semantics match the simulator's: breaking a machine rule (busy
 // port, gap, capacity, bad destination) records a schedule.Violation and the
@@ -23,8 +34,10 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"logpopt/internal/logp"
 	"logpopt/internal/obs"
@@ -67,15 +80,16 @@ type Proc struct {
 	lastRecvStart logp.Time
 	busyUntil     logp.Time
 	maxQueue      int
-	sentThisStep  bool
 	pending       []schedule.Violation // recorded by the handler goroutine
 }
 
 const minusInf = logp.Time(-1) << 40
 
 // CanSend reports whether this processor's send port is free this step.
+// The gap rule (G >= 1, enforced by Machine.Validate) already limits a
+// processor to one send start per step.
 func (p *Proc) CanSend(now logp.Time) bool {
-	return now >= p.lastSendStart+p.rt.m.G && now >= p.busyUntil && !p.sentThisStep
+	return now >= p.lastSendStart+p.rt.m.G && now >= p.busyUntil
 }
 
 // Violate records a model violation observed at this processor. It is safe
@@ -108,7 +122,6 @@ func (p *Proc) Send(now logp.Time, to, item int, payload any) error {
 		p.Violate(schedule.VGap, "%v", err)
 		return err
 	}
-	p.sentThisStep = true
 	p.lastSendStart = now
 	if end := now + p.rt.m.O; end > p.busyUntil {
 		p.busyUntil = end
@@ -125,8 +138,8 @@ func (p *Proc) Send(now logp.Time, to, item int, payload any) error {
 func (p *Proc) Received() []Message { return p.inboxThisStep }
 
 // Handler is the per-step program of one processor. It is called once per
-// virtual time step, on its own goroutine, after that step's receptions have
-// been delivered.
+// virtual time step, on a pool worker (handlers for distinct processors may
+// run concurrently), after that step's receptions have been delivered.
 type Handler func(p *Proc, now logp.Time)
 
 // Runtime executes P handlers in barrier-synchronized virtual time.
@@ -142,16 +155,31 @@ type Runtime struct {
 
 	m          logp.Machine
 	mode       Mode
-	procs      []*Proc
+	procs      []Proc // contiguous slab; Proc(i) hands out &procs[i]
 	handlers   []Handler
 	now        logp.Time
 	inflight   []Message
+	queued     int // total messages sitting in per-processor queues
 	trace      *schedule.Schedule
 	violations []schedule.Violation
+	// chunks is the fixed partition of [0, P) that phase-B workers claim;
+	// workers is the pool size (min(GOMAXPROCS, len(chunks)) at creation).
+	chunks  []chunk
+	workers int
 	// In-network interval end times per processor for the capacity bound,
 	// mirroring the simulator's bookkeeping (see sim.checkCapacity).
 	outEnds [][]logp.Time
 	inEnds  [][]logp.Time
+}
+
+// chunk is one contiguous range of processors owned by a single worker
+// during phase B. dirty and dequeued are that worker's output for phase C:
+// which processors produced something to collect, and how many queued
+// messages the discipline consumed.
+type chunk struct {
+	lo, hi   int
+	dirty    []int32
+	dequeued int
 }
 
 // Mode mirrors sim: Strict receives arrivals immediately (recording a
@@ -174,24 +202,45 @@ func New(m logp.Machine, mode Mode, handlers []Handler) (*Runtime, error) {
 		return nil, fmt.Errorf("runtime: %d handlers for P=%d", len(handlers), m.P)
 	}
 	rt := &Runtime{m: m, mode: mode, handlers: handlers, trace: &schedule.Schedule{M: m}}
-	rt.procs = make([]*Proc, m.P)
+	rt.procs = make([]Proc, m.P)
 	for i := range rt.procs {
-		rt.procs[i] = &Proc{ID: i, rt: rt, lastSendStart: minusInf, lastRecvStart: minusInf, busyUntil: minusInf}
+		rt.procs[i] = Proc{ID: i, rt: rt, lastSendStart: minusInf, lastRecvStart: minusInf, busyUntil: minusInf}
 	}
+	// Partition processors into contiguous chunks: enough per worker for
+	// load balancing (4x oversubscription), but no smaller than 64 so tiny
+	// machines run on a single chunk without pool overhead.
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > m.P {
+		workers = m.P
+	}
+	chunkSize := (m.P + workers*4 - 1) / (workers * 4)
+	if chunkSize < 64 {
+		chunkSize = 64
+	}
+	for lo := 0; lo < m.P; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > m.P {
+			hi = m.P
+		}
+		rt.chunks = append(rt.chunks, chunk{lo: lo, hi: hi})
+	}
+	if workers > len(rt.chunks) {
+		workers = len(rt.chunks)
+	}
+	rt.workers = workers
 	rt.outEnds = make([][]logp.Time, m.P)
 	rt.inEnds = make([][]logp.Time, m.P)
 	return rt, nil
 }
 
 // Proc returns the handle for processor id (for pre-run state injection).
-func (rt *Runtime) Proc(id int) *Proc { return rt.procs[id] }
+// Handles stay valid for the runtime's lifetime: the processor slab is
+// allocated once in New and never moves.
+func (rt *Runtime) Proc(id int) *Proc { return &rt.procs[id] }
 
 // Now returns the current virtual time.
 func (rt *Runtime) Now() logp.Time { return rt.now }
 
-// Step advances one virtual time step: delivers arrivals, runs all handlers
-// concurrently, then collects outboxes and merges recorded violations in
-// processor order.
 // tracePID returns the pid used for this runtime's trace tracks.
 func (rt *Runtime) tracePID() int {
 	if rt.TracePID != 0 {
@@ -200,6 +249,10 @@ func (rt *Runtime) tracePID() int {
 	return 2
 }
 
+// Step advances one virtual time step: delivers arrivals (phase A), applies
+// the reception discipline and runs all handlers on the worker pool (phase
+// B), then collects outboxes, trace events, and recorded violations in
+// processor order (phase C).
 func (rt *Runtime) Step() {
 	now := rt.now
 	if rt.Tracer != nil && now == 0 {
@@ -213,98 +266,61 @@ func (rt *Runtime) Step() {
 			rt.Tracer.NameThread(pid, p, fmt.Sprintf("P%d", p))
 		}
 	}
-	// Deliver arrivals due now.
+	// Phase A: deliver arrivals due now into per-processor queues.
 	rest := rt.inflight[:0]
 	for _, msg := range rt.inflight {
 		if msg.Arrive <= now {
-			p := rt.procs[msg.To]
+			p := &rt.procs[msg.To]
 			p.queue = append(p.queue, msg)
 			if len(p.queue) > p.maxQueue {
 				p.maxQueue = len(p.queue)
 			}
+			rt.queued++
 		} else {
 			rest = append(rest, msg)
 		}
 	}
 	rt.inflight = rest
-	// Apply the reception discipline.
-	for _, p := range rt.procs {
-		p.inboxThisStep = p.inboxThisStep[:0]
-		p.sentThisStep = false
-		if len(p.queue) == 0 {
-			continue
-		}
-		sort.Slice(p.queue, func(i, j int) bool {
-			a, b := p.queue[i], p.queue[j]
-			if a.Arrive != b.Arrive {
-				return a.Arrive < b.Arrive
-			}
-			if a.Item != b.Item {
-				return a.Item < b.Item
-			}
-			return a.From < b.From
-		})
-		switch rt.mode {
-		case Strict:
-			// Everything that has arrived must be received now; a busy port
-			// is a violation but the reception still happens, exactly as in
-			// the simulator.
-			for len(p.queue) > 0 {
-				msg := p.queue[0]
-				if now < p.lastRecvStart+rt.m.G || now < p.busyUntil {
-					rt.violations = append(rt.violations, schedule.Violation{
-						Kind: schedule.VGap,
-						Msg: fmt.Sprintf("runtime: proc %d: receive port busy for item %d at %d",
-							p.ID, msg.Item, now),
-					})
+	// Phase B: discipline + handlers, parallel over processor chunks.
+	rt.runChunks(now)
+	// Phase C: collect from dirty processors in processor order
+	// (determinism); idle processors cost nothing here.
+	var nSends, nRecvs int64
+	for ci := range rt.chunks {
+		c := &rt.chunks[ci]
+		rt.queued -= c.dequeued
+		for _, id := range c.dirty {
+			p := &rt.procs[id]
+			for i := range p.inboxThisStep {
+				msg := &p.inboxThisStep[i]
+				rt.trace.Recv(p.ID, now, msg.Item, msg.From)
+				nRecvs++
+				mPortWait.Observe(int64(now - msg.Arrive))
+				if rt.Tracer != nil {
+					rt.Tracer.Span(rt.tracePID(), p.ID, "recv", int64(now), int64(rt.m.O),
+						obs.A("item", msg.Item), obs.A("from", msg.From),
+						obs.A("waited", int64(now-msg.Arrive)))
 				}
-				p.queue = p.queue[1:]
-				rt.deliver(p, msg, now)
 			}
-		case Buffered:
-			if now >= p.lastRecvStart+rt.m.G && now >= p.busyUntil {
-				msg := p.queue[0]
-				p.queue = p.queue[1:]
-				rt.deliver(p, msg, now)
+			for _, msg := range p.outbox {
+				rt.checkCapacity(msg.From, msg.To, msg.SentAt)
+				rt.inflight = append(rt.inflight, msg)
+				rt.trace.Send(msg.From, msg.SentAt, msg.Item, msg.To)
+				nSends++
+				if rt.Tracer != nil {
+					rt.Tracer.Span(rt.tracePID(), msg.From, "send", int64(msg.SentAt), int64(rt.m.O),
+						obs.A("item", msg.Item), obs.A("to", msg.To))
+				}
 			}
+			p.outbox = p.outbox[:0]
+			rt.violations = append(rt.violations, p.pending...)
+			p.pending = p.pending[:0]
 		}
-	}
-	// Run handlers concurrently.
-	var wg sync.WaitGroup
-	for i, h := range rt.handlers {
-		if h == nil {
-			continue
-		}
-		wg.Add(1)
-		go func(p *Proc, h Handler) {
-			defer wg.Done()
-			h(p, now)
-		}(rt.procs[i], h)
-	}
-	wg.Wait()
-	// Collect outboxes and violations in processor order (determinism).
-	var nSends int64
-	for _, p := range rt.procs {
-		for _, msg := range p.outbox {
-			rt.checkCapacity(msg.From, msg.To, msg.SentAt)
-			rt.inflight = append(rt.inflight, msg)
-			rt.trace.Send(msg.From, msg.SentAt, msg.Item, msg.To)
-			nSends++
-			if rt.Tracer != nil {
-				rt.Tracer.Span(rt.tracePID(), msg.From, "send", int64(msg.SentAt), int64(rt.m.O),
-					obs.A("item", msg.Item), obs.A("to", msg.To))
-			}
-		}
-		p.outbox = p.outbox[:0]
-		rt.violations = append(rt.violations, p.pending...)
-		p.pending = p.pending[:0]
 	}
 	mSends.Add(nSends)
+	mRecvs.Add(nRecvs)
 	mSteps.Inc()
-	pending := int64(len(rt.inflight))
-	for _, p := range rt.procs {
-		pending += int64(len(p.queue))
-	}
+	pending := int64(len(rt.inflight) + rt.queued)
 	gPendingHigh.Set(pending)
 	if rt.Tracer != nil {
 		pid := rt.tracePID()
@@ -312,6 +328,97 @@ func (rt *Runtime) Step() {
 		rt.Tracer.Counter(pid, "pending", int64(now), pending)
 	}
 	rt.now++
+}
+
+// runChunks executes phase B: workers claim chunks off a shared counter and
+// run runChunk on each. With a single chunk (small machines) it runs inline
+// — no goroutines, no barrier.
+func (rt *Runtime) runChunks(now logp.Time) {
+	if rt.workers <= 1 || len(rt.chunks) <= 1 {
+		for ci := range rt.chunks {
+			rt.runChunk(&rt.chunks[ci], now)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < rt.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(rt.chunks) {
+					return
+				}
+				rt.runChunk(&rt.chunks[ci], now)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runChunk processes one chunk of processors for the step: clears last
+// step's inbox, applies the reception discipline to queued arrivals, runs
+// the handler, and records which processors have output for phase C. It
+// touches only state owned by processors in [c.lo, c.hi).
+func (rt *Runtime) runChunk(c *chunk, now logp.Time) {
+	c.dirty = c.dirty[:0]
+	c.dequeued = 0
+	for i := c.lo; i < c.hi; i++ {
+		p := &rt.procs[i]
+		p.inboxThisStep = p.inboxThisStep[:0]
+		if len(p.queue) > 0 {
+			c.dequeued += rt.discipline(p, now)
+		}
+		if h := rt.handlers[i]; h != nil {
+			h(p, now)
+		}
+		if len(p.inboxThisStep) > 0 || len(p.outbox) > 0 || len(p.pending) > 0 {
+			c.dirty = append(c.dirty, int32(i))
+		}
+	}
+}
+
+// discipline applies the reception rules to p's queued arrivals at time now
+// and returns how many messages it consumed. Violations go to p.pending (the
+// coordinator merges them in processor order), never to shared state.
+func (rt *Runtime) discipline(p *Proc, now logp.Time) int {
+	sort.Slice(p.queue, func(i, j int) bool {
+		a, b := p.queue[i], p.queue[j]
+		if a.Arrive != b.Arrive {
+			return a.Arrive < b.Arrive
+		}
+		if a.Item != b.Item {
+			return a.Item < b.Item
+		}
+		return a.From < b.From
+	})
+	switch rt.mode {
+	case Strict:
+		// Everything that has arrived must be received now; a busy port is
+		// a violation but the reception still happens, exactly as in the
+		// simulator.
+		for _, msg := range p.queue {
+			if now < p.lastRecvStart+rt.m.G || now < p.busyUntil {
+				p.Violate(schedule.VGap, "runtime: proc %d: receive port busy for item %d at %d",
+					p.ID, msg.Item, now)
+			}
+			p.receive(msg, now)
+		}
+		n := len(p.queue)
+		p.queue = p.queue[:0]
+		return n
+	case Buffered:
+		if now >= p.lastRecvStart+rt.m.G && now >= p.busyUntil {
+			msg := p.queue[0]
+			copy(p.queue, p.queue[1:])
+			p.queue = p.queue[:len(p.queue)-1]
+			p.receive(msg, now)
+			return 1
+		}
+	}
+	return 0
 }
 
 // checkCapacity enforces the network capacity bound ceil(L/g) on the message
@@ -352,21 +459,16 @@ func pruneEnds(ends []logp.Time, s logp.Time) []logp.Time {
 	return ends
 }
 
-func (rt *Runtime) deliver(p *Proc, msg Message, now logp.Time) {
+// receive commits one message to p's inbox at time now, updating only p's
+// own port state — safe inside phase B. Trace events and metrics for the
+// reception are emitted by the coordinator in phase C from inboxThisStep.
+func (p *Proc) receive(msg Message, now logp.Time) {
 	msg.RecvdAt = now
 	p.lastRecvStart = now
-	if end := now + rt.m.O; end > p.busyUntil {
+	if end := now + p.rt.m.O; end > p.busyUntil {
 		p.busyUntil = end
 	}
 	p.inboxThisStep = append(p.inboxThisStep, msg)
-	rt.trace.Recv(p.ID, now, msg.Item, msg.From)
-	mRecvs.Inc()
-	mPortWait.Observe(int64(now - msg.Arrive))
-	if rt.Tracer != nil {
-		rt.Tracer.Span(rt.tracePID(), p.ID, "recv", int64(now), int64(rt.m.O),
-			obs.A("item", msg.Item), obs.A("from", msg.From),
-			obs.A("waited", int64(now-msg.Arrive)))
-	}
 }
 
 // Run executes steps until the virtual clock reaches until (exclusive).
@@ -395,16 +497,7 @@ func (rt *Runtime) Quiesce(horizon logp.Time) {
 
 // Pending reports whether any message is still in flight or queued.
 func (rt *Runtime) Pending() bool {
-	return len(rt.inflight) > 0 || rt.anyQueued()
-}
-
-func (rt *Runtime) anyQueued() bool {
-	for _, p := range rt.procs {
-		if len(p.queue) > 0 {
-			return true
-		}
-	}
-	return false
+	return len(rt.inflight) > 0 || rt.queued > 0
 }
 
 // Trace returns the executed communication schedule.
@@ -423,9 +516,9 @@ func (rt *Runtime) Violations() []schedule.Violation {
 // MaxQueue returns the largest receive-queue occupancy seen at any processor.
 func (rt *Runtime) MaxQueue() int {
 	mx := 0
-	for _, p := range rt.procs {
-		if p.maxQueue > mx {
-			mx = p.maxQueue
+	for i := range rt.procs {
+		if rt.procs[i].maxQueue > mx {
+			mx = rt.procs[i].maxQueue
 		}
 	}
 	return mx
@@ -438,8 +531,8 @@ func (rt *Runtime) MaxQueue() int {
 // between buffered backends).
 func (rt *Runtime) ProcMaxQueues() []int {
 	mq := make([]int, len(rt.procs))
-	for i, p := range rt.procs {
-		mq[i] = p.maxQueue
+	for i := range rt.procs {
+		mq[i] = rt.procs[i].maxQueue
 	}
 	return mq
 }

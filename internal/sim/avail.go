@@ -1,0 +1,75 @@
+package sim
+
+import "logpopt/internal/logp"
+
+// availStore maps (processor, item) -> earliest availability time without a
+// per-processor map: per-processor singly-linked entry lists carved from one
+// shared slab. At P ~ 10^6 the old map-per-processor layout cost a million
+// map headers plus a bucket allocation per processor that ever held an item,
+// and Reset had to clear each one; the slab is a single slice whose entries
+// are recycled wholesale by truncation.
+//
+// Lookups walk the processor's list, which is as long as the number of
+// distinct items that processor holds — one for broadcast, k for k-item
+// schedules — so the walk is short exactly where P is large.
+type availStore struct {
+	heads   []int32 // per processor, index of the first entry; -1 = none
+	entries []availEntry
+}
+
+type availEntry struct {
+	next int32
+	item int
+	at   logp.Time
+}
+
+// reset prepares the store for p processors, reusing both the heads slice
+// and the entry slab.
+func (a *availStore) reset(p int) {
+	if cap(a.heads) < p {
+		a.heads = make([]int32, p)
+	} else {
+		a.heads = a.heads[:p]
+	}
+	for i := range a.heads {
+		a.heads[i] = -1
+	}
+	a.entries = a.entries[:0]
+}
+
+// get returns the availability time of item at processor p, if known.
+func (a *availStore) get(p, item int) (logp.Time, bool) {
+	for i := a.heads[p]; i >= 0; i = a.entries[i].next {
+		if a.entries[i].item == item {
+			return a.entries[i].at, true
+		}
+	}
+	return 0, false
+}
+
+// setMin records that item is available at processor p from time at,
+// keeping the earliest time when the pair is already known.
+func (a *availStore) setMin(p, item int, at logp.Time) {
+	for i := a.heads[p]; i >= 0; i = a.entries[i].next {
+		if a.entries[i].item == item {
+			if at < a.entries[i].at {
+				a.entries[i].at = at
+			}
+			return
+		}
+	}
+	a.entries = append(a.entries, availEntry{next: a.heads[p], item: item, at: at})
+	a.heads[p] = int32(len(a.entries) - 1)
+}
+
+// latest returns the maximum availability time over every (processor, item)
+// pair in the store — the run's finish time.
+func (a *availStore) latest() logp.Time {
+	var mx logp.Time
+	for i := range a.entries {
+		if a.entries[i].at > mx {
+			mx = a.entries[i].at
+		}
+	}
+	return mx
+}

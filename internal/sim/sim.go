@@ -59,13 +59,14 @@ type Msg struct {
 	Arrive         logp.Time // SendAt + o + L
 }
 
-// procState tracks one processor's ports and holdings.
+// procState tracks one processor's ports and holdings. Item availability
+// lives outside the struct, in the engine's slab-backed availStore, so a
+// million-processor engine allocates no per-processor maps.
 type procState struct {
 	lastSendStart logp.Time // start of most recent send; -inf if none
 	lastRecvStart logp.Time
 	busyUntil     logp.Time // end of current overhead/compute interval
-	avail         map[int]logp.Time
-	buffer        []Msg // arrived, not yet received (Buffered mode)
+	buffer        []Msg     // arrived, not yet received (Buffered mode)
 	maxBuffer     int
 	// In-network interval end times (sendAt+o+L) of messages currently in
 	// transit from / to this processor, for the capacity bound ceil(L/g).
@@ -134,8 +135,10 @@ func (h *flightHeap) pop() Msg {
 // Engine is a running LogP machine. Create one with New, inject origin items,
 // then either replay a schedule with Run or drive it interactively:
 // repeatedly TickTo / Send. A finished engine can be recycled for another
-// run with Reset, which reuses every internal allocation (flight heap,
-// per-processor maps and buffers, executed-event storage).
+// run with Reset, which reuses every internal allocation (the sharded
+// flight queue, the availability slab, per-processor buffers, and
+// executed-event storage), bounded by decayed retain watermarks so a
+// one-off huge case does not pin memory for the rest of a sweep.
 type Engine struct {
 	M         logp.Machine
 	Mode      Mode
@@ -152,14 +155,40 @@ type Engine struct {
 
 	now        logp.Time
 	procs      []procState
-	inflight   flightHeap
+	inflight   flightQueue
+	avail      availStore
 	executed   schedule.Schedule
 	violations []schedule.Violation
 	sendBuf    []schedule.Event // Replay scratch, reused across runs
 
+	// Decayed high-water marks feeding the Reset shrink policy (see Reset).
+	hwProcs, hwInflight, hwAvail, hwExecuted, hwSendBuf, hwViol watermark
+
 	// Run-local metric tallies, flushed to obs.Default by Replay.
 	nEvents, nCapChecks int64
 	bufferedNow         int // total buffered messages across procs (Buffered)
+}
+
+// watermark is a decayed high-water mark: each Reset folds in the finished
+// run's usage and decays the retained value by a quarter, so a one-off huge
+// case stops dominating after a few resets and its memory can be released.
+type watermark int
+
+// update notes the finished run's usage and applies one decay step,
+// returning the retained watermark.
+func (w *watermark) update(used int) int {
+	*w -= *w / 4
+	if watermark(used) > *w {
+		*w = watermark(used)
+	}
+	return int(*w)
+}
+
+// oversized reports whether a capacity has grown pathologically past what
+// the watermark says future runs need: beyond a floor (small slices are
+// never worth freeing) and more than 4x the retained need.
+func oversized(capacity, keep, floor int) bool {
+	return capacity > floor && capacity > 4*keep
 }
 
 const minusInf = logp.Time(-1) << 40
@@ -173,17 +202,48 @@ func New(m logp.Machine, mode Mode) *Engine {
 
 // Reset reinitializes the engine for machine m in the given mode, reusing
 // the allocations of any previous run: the per-processor states (including
-// their item maps and buffers), the in-flight heap, and the executed-event
-// slice all keep their capacity. BufferCap is preserved.
+// their buffers), the sharded in-flight queue, the availability slab, and
+// the executed-event slice all keep their capacity. BufferCap is preserved.
+//
+// Reuse is bounded by decayed retain watermarks: each Reset folds the
+// finished run's usage into a per-resource high-water mark, decays it, and
+// frees any allocation that has grown to more than 4x the retained need —
+// so a single P=10^6 case in the middle of a small-P sweep does not pin
+// hundreds of megabytes for the rest of the process.
 func (e *Engine) Reset(m logp.Machine, mode Mode) {
+	hwExec := e.hwExecuted.update(len(e.executed.Events))
+	hwSend := e.hwSendBuf.update(len(e.sendBuf))
+	hwViol := e.hwViol.update(len(e.violations))
+	hwFlight := e.hwInflight.update(e.inflight.peak)
+	hwAvail := e.hwAvail.update(len(e.avail.entries))
+	hwProcs := e.hwProcs.update(m.P)
+
 	e.M, e.Mode = m, mode
 	e.now = 0
 	e.executed.M = m
-	e.executed.Events = e.executed.Events[:0]
-	e.inflight = e.inflight[:0]
-	e.violations = e.violations[:0]
+	if oversized(cap(e.executed.Events), hwExec, 1024) {
+		e.executed.Events = nil
+	} else {
+		e.executed.Events = e.executed.Events[:0]
+	}
+	if oversized(cap(e.sendBuf), hwSend, 1024) {
+		e.sendBuf = nil
+	} else {
+		e.sendBuf = e.sendBuf[:0]
+	}
+	if oversized(cap(e.violations), hwViol, 64) {
+		e.violations = nil
+	} else {
+		e.violations = e.violations[:0]
+	}
+	e.inflight.reset(m.P)
+	e.inflight.shrink(hwFlight)
+	if oversized(cap(e.avail.entries), hwAvail, 1024) {
+		e.avail.entries = nil
+	}
+	e.avail.reset(m.P)
 	e.nEvents, e.nCapChecks, e.bufferedNow = 0, 0, 0
-	if cap(e.procs) < m.P {
+	if cap(e.procs) < m.P || oversized(cap(e.procs), max(m.P, hwProcs), 1024) {
 		e.procs = make([]procState, m.P)
 	} else {
 		e.procs = e.procs[:m.P]
@@ -193,16 +253,25 @@ func (e *Engine) Reset(m logp.Machine, mode Mode) {
 		ps.lastSendStart = minusInf
 		ps.lastRecvStart = minusInf
 		ps.busyUntil = minusInf
-		if ps.avail == nil {
-			ps.avail = make(map[int]logp.Time)
+		if oversized(cap(ps.buffer), ps.maxBuffer, 64) {
+			ps.buffer = nil
 		} else {
-			clear(ps.avail)
+			ps.buffer = ps.buffer[:0]
 		}
-		ps.buffer = ps.buffer[:0]
 		ps.maxBuffer = 0
-		ps.outEnds = ps.outEnds[:0]
-		ps.inEnds = ps.inEnds[:0]
+		ps.outEnds = shrinkEnds(ps.outEnds)
+		ps.inEnds = shrinkEnds(ps.inEnds)
 	}
+}
+
+// shrinkEnds truncates a capacity-tracking queue for reuse, releasing it
+// when it has grown far past the handful of in-transit ends ceil(L/g)
+// usually bounds it to.
+func shrinkEnds(ends []logp.Time) []logp.Time {
+	if oversized(cap(ends), len(ends), 128) {
+		return nil
+	}
+	return ends[:0]
 }
 
 // Now returns the current simulation time.
@@ -233,22 +302,19 @@ func (e *Engine) violate(proc int, v schedule.Violation) {
 // Inject makes item available at processor p at time at (an origin, e.g. the
 // broadcast source's datum, or a continuously generated stream item).
 func (e *Engine) Inject(p, item int, at logp.Time) {
-	if cur, ok := e.procs[p].avail[item]; !ok || at < cur {
-		e.procs[p].avail[item] = at
-	}
+	e.avail.setMin(p, item, at)
 }
 
 // Has reports whether item is available at p at the current time.
 func (e *Engine) Has(p, item int) bool {
-	t, ok := e.procs[p].avail[item]
+	t, ok := e.avail.get(p, item)
 	return ok && t <= e.now
 }
 
 // AvailableAt returns the time item became (or becomes) available at p, and
 // whether it is known at all.
 func (e *Engine) AvailableAt(p, item int) (logp.Time, bool) {
-	t, ok := e.procs[p].avail[item]
-	return t, ok
+	return e.avail.get(p, item)
 }
 
 // CanSend reports whether p's send port is free at the current time: the gap
@@ -294,7 +360,7 @@ func (e *Engine) Send(from, item, to int) error {
 		pid := e.tracePID()
 		e.Tracer.Span(pid, from, "send", int64(e.now), int64(e.M.O),
 			obs.A("item", item), obs.A("to", to))
-		e.Tracer.Counter(pid, "inflight", int64(e.now), int64(len(e.inflight)))
+		e.Tracer.Counter(pid, "inflight", int64(e.now), int64(e.inflight.len()))
 	}
 	return nil
 }
@@ -359,7 +425,7 @@ func (e *Engine) Tick() { e.TickTo(e.now + 1) }
 // in Buffered mode, lets each processor receive one buffered message if its
 // receive port is free.
 func (e *Engine) processArrivals() {
-	for len(e.inflight) > 0 && e.inflight[0].Arrive <= e.now {
+	for e.inflight.len() > 0 && e.inflight.peek().Arrive <= e.now {
 		msg := e.inflight.pop()
 		e.nEvents++
 		ps := &e.procs[msg.To]
@@ -382,7 +448,7 @@ func (e *Engine) processArrivals() {
 			e.bufferedNow++
 			if e.Tracer != nil {
 				pid := e.tracePID()
-				e.Tracer.Counter(pid, "inflight", int64(e.now), int64(len(e.inflight)))
+				e.Tracer.Counter(pid, "inflight", int64(e.now), int64(e.inflight.len()))
 				e.Tracer.Counter(pid, "buffered", int64(e.now), int64(e.bufferedNow))
 			}
 			if e.BufferCap > 0 && len(ps.buffer) > e.BufferCap {
@@ -430,10 +496,7 @@ func (e *Engine) receive(msg Msg, t logp.Time) {
 	if end := t + e.M.O; end > ps.busyUntil {
 		ps.busyUntil = end
 	}
-	availAt := t + e.M.O
-	if cur, ok := ps.avail[msg.Item]; !ok || availAt < cur {
-		ps.avail[msg.Item] = availAt
-	}
+	e.avail.setMin(msg.To, msg.Item, t+e.M.O)
 	e.executed.Recv(msg.To, t, msg.Item, msg.From)
 	if wait := t - msg.Arrive; wait > 0 {
 		mRecvWait.Observe(int64(wait))
@@ -443,7 +506,7 @@ func (e *Engine) receive(msg Msg, t logp.Time) {
 		e.Tracer.Span(pid, msg.To, "recv", int64(t), int64(e.M.O),
 			obs.A("item", msg.Item), obs.A("from", msg.From),
 			obs.A("waited", int64(t-msg.Arrive)))
-		e.Tracer.Counter(pid, "inflight", int64(t), int64(len(e.inflight)))
+		e.Tracer.Counter(pid, "inflight", int64(t), int64(e.inflight.len()))
 	}
 }
 
@@ -451,7 +514,7 @@ func (e *Engine) receive(msg Msg, t logp.Time) {
 // given horizon; it returns the time of quiescence (or the horizon).
 func (e *Engine) Drain(horizon logp.Time) logp.Time {
 	for e.now < horizon {
-		if len(e.inflight) == 0 && !e.anyBuffered() {
+		if e.inflight.len() == 0 && !e.anyBuffered() {
 			return e.now
 		}
 		e.Tick()
@@ -507,7 +570,7 @@ func (e *Engine) ItemCompletion(item int, procs []int) (logp.Time, bool) {
 	}
 	var mx logp.Time
 	for _, p := range procs {
-		t, ok := e.procs[p].avail[item]
+		t, ok := e.avail.get(p, item)
 		if !ok {
 			return 0, false
 		}
@@ -615,7 +678,7 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 			}
 			i++
 		}
-		if i >= len(sends) && len(e.inflight) == 0 && !e.anyBuffered() {
+		if i >= len(sends) && e.inflight.len() == 0 && !e.anyBuffered() {
 			break
 		}
 		if e.Now() > limit {
@@ -629,8 +692,10 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 			if i < len(sends) {
 				next = sends[i].Time
 			}
-			if len(e.inflight) > 0 && e.inflight[0].Arrive < next {
-				next = e.inflight[0].Arrive
+			if e.inflight.len() > 0 {
+				if at := e.inflight.peek().Arrive; at < next {
+					next = at
+				}
 			}
 			if next > e.now+1 {
 				e.now = next - 1 // Tick advances the final step
@@ -662,15 +727,7 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 }
 
 func (e *Engine) finishTime() logp.Time {
-	var mx logp.Time
-	for i := range e.procs {
-		for _, t := range e.procs[i].avail {
-			if t > mx {
-				mx = t
-			}
-		}
-	}
-	return mx
+	return e.avail.latest()
 }
 
 // Stats is the port-activity summary for one run. It is the shared

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Emitter is a bounded, incremental writer of Chrome trace-event JSON
+// ({"traceEvents":[...]}), the streaming counterpart of obs.Tracer's
+// in-memory accumulation. Pre-encoded event records are appended to an
+// internal buffer that is flushed to the underlying writer whenever it
+// exceeds its bound, so a million-processor replay can record millions of
+// spans while the emitter holds only the bound's worth of bytes in memory.
+//
+// Emitter satisfies obs.Sink, so it plugs straight into
+// (*obs.Tracer).StreamTo. It is not safe for concurrent use on its own; the
+// Tracer serializes calls under its own mutex.
+type Emitter struct {
+	w       io.Writer
+	buf     []byte
+	bound   int
+	events  int
+	started bool
+	closed  bool
+	err     error
+}
+
+// DefaultEmitterBound is the buffer bound used when NewEmitter is given a
+// non-positive one: large enough to amortize writes, small enough that an
+// engine streaming a huge run holds only a sliver of it in memory.
+const DefaultEmitterBound = 256 << 10
+
+// NewEmitter returns an emitter writing to w, flushing whenever the pending
+// buffer exceeds bound bytes (<= 0 selects DefaultEmitterBound). Nothing is
+// written until the first event arrives or Close is called; Close always
+// produces a complete, loadable JSON document, even with zero events.
+func NewEmitter(w io.Writer, bound int) *Emitter {
+	if bound <= 0 {
+		bound = DefaultEmitterBound
+	}
+	return &Emitter{w: w, buf: make([]byte, 0, bound+4096), bound: bound}
+}
+
+// Emit appends one pre-encoded JSON event object to the stream. The bytes
+// are copied before Emit returns, so callers may reuse the record buffer.
+func (e *Emitter) Emit(rec []byte) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		e.err = fmt.Errorf("trace: Emit after Close")
+		return e.err
+	}
+	if !e.started {
+		e.buf = append(e.buf, `{"traceEvents":[`...)
+		e.started = true
+	} else {
+		e.buf = append(e.buf, ',')
+	}
+	e.buf = append(e.buf, '\n')
+	e.buf = append(e.buf, rec...)
+	e.events++
+	if len(e.buf) > e.bound {
+		return e.flush()
+	}
+	return nil
+}
+
+// Events returns the number of events emitted so far.
+func (e *Emitter) Events() int { return e.events }
+
+// Err returns the first error the underlying writer reported, if any.
+func (e *Emitter) Err() error { return e.err }
+
+func (e *Emitter) flush() error {
+	if len(e.buf) == 0 {
+		return e.err
+	}
+	_, err := e.w.Write(e.buf)
+	e.buf = e.buf[:0]
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Close terminates the JSON document and flushes everything pending. It does
+// not close the underlying writer. Close is idempotent; events emitted after
+// Close are an error.
+func (e *Emitter) Close() error {
+	if e.closed {
+		return e.err
+	}
+	e.closed = true
+	if !e.started {
+		e.buf = append(e.buf, `{"traceEvents":[`...)
+		e.started = true
+	}
+	e.buf = append(e.buf, "\n]}\n"...)
+	return e.flush()
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"logpopt/internal/obs"
+)
+
+// flushCounter counts Write calls so tests can observe emitter flushing.
+type flushCounter struct {
+	b      strings.Builder
+	writes int
+}
+
+func (f *flushCounter) Write(p []byte) (int, error) {
+	f.writes++
+	return f.b.Write(p)
+}
+
+func TestEmitterProducesValidJSON(t *testing.T) {
+	var out flushCounter
+	em := NewEmitter(&out, 0)
+	for i := 0; i < 5; i++ {
+		rec := fmt.Sprintf(`{"name":"e%d","ph":"i","ts":%d,"pid":0,"tid":%d}`, i, i*10, i)
+		if err := em.Emit([]byte(rec)); err != nil {
+			t.Fatalf("Emit %d: %v", i, err)
+		}
+	}
+	if err := em.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if em.Events() != 5 {
+		t.Fatalf("Events() = %d, want 5", em.Events())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.b.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("decoded %d events, want 5", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[3]["name"] != "e3" {
+		t.Fatalf("event order lost: got %v at index 3", doc.TraceEvents[3]["name"])
+	}
+}
+
+func TestEmitterEmptyClose(t *testing.T) {
+	var out strings.Builder
+	em := NewEmitter(&out, 0)
+	if err := em.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("empty document is not valid JSON: %v\n%q", err, out.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty emitter produced %d events", len(doc.TraceEvents))
+	}
+	// Idempotent.
+	if err := em.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestEmitterBoundedFlushing(t *testing.T) {
+	var out flushCounter
+	em := NewEmitter(&out, 64) // tiny bound forces many intermediate flushes
+	rec := []byte(`{"name":"x","ph":"i","ts":1,"pid":0,"tid":0}`)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := em.Emit(rec); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	if out.writes < n/2 {
+		t.Fatalf("bound 64 with %d-byte records produced only %d flushes; buffering is unbounded", len(rec), out.writes)
+	}
+	if err := em.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.b.String()), &doc); err != nil {
+		t.Fatalf("flushed output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != n {
+		t.Fatalf("decoded %d events, want %d", len(doc.TraceEvents), n)
+	}
+}
+
+// TestEmitterMatchesTracerWriteJSON streams an obs.Tracer through an Emitter
+// and checks the file is byte-identical to what the same events would have
+// produced via the in-memory WriteJSON path — the two encoders must never
+// drift.
+func TestEmitterMatchesTracerWriteJSON(t *testing.T) {
+	record := func(tr *obs.Tracer) {
+		tr.NameProcess(2, "sim (cycles)")
+		tr.NameThread(2, 0, "proc 0")
+		tr.Span(2, 0, "send", 0, 2, obs.A("to", 1), obs.A("item", 0))
+		tr.Instant(2, 1, "recv", 8)
+		tr.Counter(2, "inflight", 8, 1)
+		tr.Span(2, 1, `odd "name"`, 9, 3)
+	}
+
+	mem := obs.NewTracer()
+	record(mem)
+	var want strings.Builder
+	if err := mem.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got strings.Builder
+	em := NewEmitter(&got, 0)
+	st := obs.NewTracer()
+	st.StreamTo(em)
+	record(st)
+	if err := em.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.StreamErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed document differs from WriteJSON:\n--- streamed:\n%s\n--- in-memory:\n%s", got.String(), want.String())
+	}
+}
+
+type failWriter struct{ calls int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.calls++
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestEmitterStickyError(t *testing.T) {
+	fw := &failWriter{}
+	em := NewEmitter(fw, 8)
+	rec := []byte(`{"name":"x","ph":"i","ts":1,"pid":0,"tid":0}`)
+	if err := em.Emit(rec); err == nil {
+		t.Fatal("expected write error")
+	}
+	for i := 0; i < 10; i++ {
+		if err := em.Emit(rec); err == nil {
+			t.Fatal("sticky error not returned")
+		}
+	}
+	if fw.calls != 1 {
+		t.Fatalf("writer called %d times after first failure, want 1", fw.calls)
+	}
+	if em.Err() == nil {
+		t.Fatal("Err() lost the sticky error")
+	}
+}
