@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke fuzz conform vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
 
 all: build test
 
@@ -28,7 +28,7 @@ bench:
 # second invocation with a fixed iteration count so the million-processor
 # benchmarks bound the suite's wall time instead of filling a benchtime.
 bench-json:
-	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
+	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay|Construct' -benchmem -run=^$$ \
 		./internal/continuous/ ./internal/bench/ ./internal/sim/ ; \
 	  $(GO) test -bench='Scale' -benchtime 2x -benchmem -run=^$$ ./internal/bench/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_3.json
@@ -41,7 +41,7 @@ bench-json:
 # The scale metrics gate direction-aware: events/sec on drops, peak RSS on
 # growth, both with generous fractions since they ride on wall time.
 bench-gate:
-	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay' -benchmem -run=^$$ \
+	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay|Construct' -benchmem -run=^$$ \
 		./internal/continuous/ ./internal/bench/ ./internal/sim/ ; \
 	  $(GO) test -bench='Scale' -benchtime 2x -benchmem -run=^$$ ./internal/bench/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_gate.json
@@ -77,6 +77,13 @@ fuzz:
 # and the validator, and diff the results.
 conform:
 	$(GO) run ./cmd/logpconform -seeds 500
+
+# Constructor differential: diff the search-free logtime constructor against
+# the heap search, event for event, over the standard machine sweep (paper
+# machines, awkward P counts, beyond-2^31 latency), replaying agreed
+# schedules through all five backends. A fast corpus rides along.
+conform-logtime:
+	$(GO) run ./cmd/logpconform -logtime -seeds 100
 
 vet:
 	$(GO) vet ./...

@@ -53,6 +53,7 @@ func experiments() []experiment {
 		{"T41b", "Theorem 4.1: combining broadcast", tbl(func() *bench.Table { return bench.CombineTable(5) })},
 		{"L51", "Lemma 5.1: summation capacity and execution", tbl(bench.SummationTable)},
 		{"EXT", "Extensions: scatter/gather/prefix scan", tbl(bench.ExtensionsTable)},
+		{"CTOR", "Constructors: heap search vs logtime counting, identical trees across P", tbl(bench.ConstructionTable)},
 		{"CMP", "Baselines: optimal vs binomial/binary/flat/linear, k-item, combining", func() (string, error) {
 			out := bench.SingleItemTable().String() + "\n" +
 				bench.KItemBaselineTable().String() + "\n" +
@@ -69,12 +70,18 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids")
 		parallel = flag.Int("parallel", par.Limit(),
 			"worker-pool width for solver portfolios and table sweeps (default GOMAXPROCS); results are identical for any value")
+		ctor = flag.String("constructor", "auto",
+			"broadcast-tree constructor for every experiment: auto, search, or logtime (auto: logtime at P >= 512); output is identical for all three")
 		traceOut = flag.String("trace", "", cliutil.TraceUsage)
 		metrics  = flag.Bool("metrics", false, cliutil.MetricsUsage)
 		serveOn  = flag.String("serve", "", cliutil.ServeUsage)
 	)
 	flag.Parse()
 	par.SetLimit(*parallel)
+	if err := bench.SetConstructor(*ctor); err != nil {
+		fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	// pid 5 carries one wall-clock span per experiment; pid 4 carries the
 	// solver portfolio races those experiments trigger.

@@ -7,8 +7,13 @@
 //
 // Usage:
 //
-//	logpconform [-seeds N] [-start S] [-paper=false] [-scale 64,1024,100000] [-v]
+//	logpconform [-seeds N] [-start S] [-paper=false] [-logtime] [-scale 64,1024,100000] [-v]
 //	logpconform -trace run.json -metrics -dumpdir conform-traces
+//
+// -logtime additionally diffs the two schedule constructors — the heap
+// search and the search-free internal/logtime counting construction —
+// structurally (event for event) over the standard machine sweep, replaying
+// the agreed schedules through all five backends.
 //
 // -scale adds large-P broadcast and reduction cases at the given processor
 // counts — the sizes where the simulator's sharded flight queue and the
@@ -41,6 +46,7 @@ func main() {
 	seeds := flag.Int("seeds", 500, "number of random seeds to check")
 	start := flag.Int64("start", 0, "first random seed")
 	paper := flag.Bool("paper", true, "also check every paper schedule constructor")
+	logtime := flag.Bool("logtime", false, "diff the search-free logtime constructor against the heap search over the standard machine sweep")
 	scale := flag.String("scale", "", "comma-separated processor counts for large-P scale cases, e.g. 64,1024,100000 (default: off)")
 	verbose := flag.Bool("v", false, "print every case as it is checked")
 	traceOut := flag.String("trace", "", cliutil.TraceUsage)
@@ -103,6 +109,26 @@ func main() {
 	if *paper {
 		for _, c := range conform.PaperCases() {
 			runCase(c)
+		}
+	}
+	if *logtime {
+		for _, mc := range conform.ConstructorMachines() {
+			checked++
+			diffs := ck.CheckConstructors(mc.M, mc.SumT)
+			if *verbose {
+				status := "ok"
+				if len(diffs) > 0 {
+					status = "DIVERGED"
+				}
+				fmt.Printf("constructors/%-24v %s\n", mc.M, status)
+			}
+			if len(diffs) > 0 {
+				diverged++
+				fmt.Printf("CONSTRUCTOR DIVERGENCE on %v (summation t=%d):\n", mc.M, mc.SumT)
+				for _, d := range diffs {
+					fmt.Printf("  %s\n", d)
+				}
+			}
 		}
 	}
 	if *scale != "" {

@@ -10,6 +10,7 @@
 //	logpsched -op scan -P 9 -L 3 -render svg > scan.svg
 //	logpsched -op kitem -P 10 -L 3 -k 8 -trace out.json -metrics
 //	logpsched -op broadcast -explain
+//	logpsched -op broadcast -P 100000 -constructor logtime > big.json
 //	logpsched -op linear -explain -render svg > chain.svg
 //
 // -explain replaces the schedule output with a causal critical-path report:
@@ -19,6 +20,12 @@
 // lower bound attributed to the constraint classes that ate it. Combined
 // with -render svg, the SVG timeline goes to stdout with the critical path
 // outlined in red and the report moves to stderr.
+//
+// -constructor picks how the optimal broadcast tree behind broadcast,
+// reduce, scan, and summation is built: "search" is the heap search,
+// "logtime" the search-free counting construction (internal/logtime), and
+// "auto" (the default) switches to logtime at P >= 512. Both emit the
+// identical schedule; the flag only decides who does the work.
 //
 // -trace writes a Chrome trace-event file (open in Perfetto or
 // chrome://tracing) covering the solver portfolio and a simulated replay of
@@ -34,36 +41,78 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	logpopt "logpopt"
 	"logpopt/internal/baseline"
 	"logpopt/internal/cliutil"
+	"logpopt/internal/combine"
 	"logpopt/internal/conform"
+	"logpopt/internal/core"
 	"logpopt/internal/logp"
+	"logpopt/internal/logtime"
 	"logpopt/internal/obs"
 	"logpopt/internal/obs/causal"
 	"logpopt/internal/par"
 	"logpopt/internal/sim"
+	"logpopt/internal/summation"
 	"logpopt/internal/trace"
 )
 
+// ops lists every operation -op accepts, for the unknown-op error.
+var ops = []string{
+	"broadcast", "linear", "flat", "binary", "binomial",
+	"alltoall", "personalized", "scatter", "gather",
+	"reduce", "scan", "kitem", "continuous", "summation",
+}
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		cliutil.Fail("logpsched", err)
+	}
+}
+
+// run is the whole tool behind a testable seam: parse args, compile the
+// requested schedule, and write it (or its causal report) to stdout. Every
+// failure returns an error instead of exiting, so tests can drive the full
+// flag-validation surface in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("logpsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		op       = flag.String("op", "broadcast", "collective to compile (see doc)")
-		p        = flag.Int("P", 8, "number of processors")
-		l        = flag.Int64("L", 6, "latency")
-		o        = flag.Int64("o", 2, "overhead")
-		g        = flag.Int64("g", 4, "gap")
-		postal   = flag.Bool("postal", false, "postal model (forces o=0, g=1)")
-		k        = flag.Int("k", 1, "items for kitem/alltoall/continuous")
-		deadline = flag.Int64("t", 0, "deadline for -op summation (cycles)")
-		render   = flag.String("render", "json", "output: json, gantt, table, svg")
-		explain  = flag.Bool("explain", false, "print a causal critical-path report instead of the schedule (with -render svg: highlighted SVG on stdout, report on stderr)")
-		traceOut = flag.String("trace", "", cliutil.TraceUsage)
-		metrics  = flag.Bool("metrics", false, cliutil.MetricsUsage)
+		op       = fs.String("op", "broadcast", "collective to compile (see doc)")
+		p        = fs.Int("P", 8, "number of processors")
+		l        = fs.Int64("L", 6, "latency")
+		o        = fs.Int64("o", 2, "overhead")
+		g        = fs.Int64("g", 4, "gap")
+		postal   = fs.Bool("postal", false, "postal model (forces o=0, g=1)")
+		k        = fs.Int("k", 1, "items for kitem/alltoall/continuous")
+		deadline = fs.Int64("t", 0, "deadline for -op summation (cycles)")
+		ctor     = fs.String("constructor", "auto", "broadcast-tree constructor: auto, search, or logtime (auto: logtime at P >= 512)")
+		render   = fs.String("render", "json", "output: json, gantt, table, svg")
+		explain  = fs.Bool("explain", false, "print a causal critical-path report instead of the schedule (with -render svg: highlighted SVG on stdout, report on stderr)")
+		traceOut = fs.String("trace", "", cliutil.TraceUsage)
+		metrics  = fs.Bool("metrics", false, cliutil.MetricsUsage)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cliutil.Machine(*p, *l, *o, *g, *postal || *op == "kitem" || *op == "continuous")
+	if err != nil {
+		return err
+	}
+	tb, _, err := logtime.Select(*ctor, m.P)
+	if err != nil {
+		return err
+	}
+	switch *op {
+	case "kitem", "alltoall", "continuous":
+		if *k < 1 {
+			return fmt.Errorf("-k must be at least 1, got %d", *k)
+		}
+	}
 
 	// The tracer sees two time bases on separate process tracks: wall-clock
 	// microseconds for the solver portfolio (pid 4) and virtual LogP cycles
@@ -76,24 +125,13 @@ func main() {
 		var terr error
 		tracer, closeTrace, terr = cliutil.StreamTrace("logpsched", *traceOut)
 		if terr != nil {
-			fail(terr)
+			return terr
 		}
 		tracer.NameProcess(4, "solver portfolio (wall µs)")
 		par.SetTracer(tracer, 4)
 	}
 	if *metrics {
-		defer func() { fmt.Fprint(os.Stderr, obs.Default.Snapshot()) }()
-	}
-
-	var m logpopt.Machine
-	var err error
-	if *postal || *op == "kitem" || *op == "continuous" {
-		m = logpopt.Postal(*p, *l)
-	} else {
-		m, err = logpopt.NewMachine(*p, *l, *o, *g)
-		if err != nil {
-			fail(err)
-		}
+		defer func() { fmt.Fprint(stderr, obs.Default.Snapshot()) }()
 	}
 
 	// bound is the op's closed-form lower bound (-1: none known); ref is its
@@ -101,14 +139,25 @@ func main() {
 	var s *logpopt.Schedule
 	bound := logp.Time(-1)
 	var ref *causal.Breakdown
+	// The ß(P) tree behind broadcast/reduce/scan/summation comes from the
+	// selected constructor; its max label IS the optimal broadcast time, so
+	// no second search is ever run just for the bound.
 	optimalBroadcastRef := func() *causal.Breakdown {
-		r := causal.Analyze(logpopt.BroadcastSchedule(m, 0), logpopt.BroadcastOrigins(0)).Achieved
+		opt, terr := core.TreeSchedule(tb(m, m.P), 0, nil, 0)
+		if terr != nil {
+			return nil
+		}
+		r := causal.Analyze(opt, logpopt.BroadcastOrigins(0)).Achieved
 		return &r
 	}
 	switch *op {
 	case "broadcast":
-		s = logpopt.BroadcastSchedule(m, 0)
-		bound = logpopt.BroadcastTime(m, m.P)
+		tr := tb(m, m.P)
+		s, err = core.TreeSchedule(tr, 0, nil, 0)
+		if err != nil {
+			return err
+		}
+		bound = tr.MaxLabel()
 	case "linear", "flat", "binary", "binomial":
 		var tr *logpopt.Tree
 		switch *op {
@@ -123,9 +172,9 @@ func main() {
 		}
 		s, err = baseline.Schedule(tr, 0)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		bound = logpopt.BroadcastTime(m, m.P)
+		bound = tb(m, m.P).MaxLabel()
 		ref = optimalBroadcastRef()
 	case "alltoall":
 		s = logpopt.AllToAllSchedule(m, *k)
@@ -140,37 +189,39 @@ func main() {
 		s = logpopt.GatherSchedule(m)
 		bound = logpopt.ScatterLowerBound(m)
 	case "reduce":
-		s = logpopt.ReduceSchedule(m, m.P)
-		bound = logpopt.BroadcastTime(m, m.P)
+		tr := tb(m, m.P)
+		s = combine.ReduceScheduleWith(m, m.P, func(logp.Machine, int) *core.Tree { return tr })
+		bound = tr.MaxLabel()
 	case "scan":
-		s = logpopt.ScanSchedule(m, m.P)
-		bound = logpopt.BroadcastTime(m, m.P) // one sweep is unavoidable
+		tr := tb(m, m.P)
+		s = combine.ScanScheduleWith(m, m.P, func(logp.Machine, int) *core.Tree { return tr })
+		bound = tr.MaxLabel() // one sweep is unavoidable
 	case "kitem":
 		_, s, err = logpopt.KItemOptimalGeneral(m.L, m.P, *k)
 		if err != nil {
-			fail(fmt.Errorf("%w (try the greedy scheduler in the library for this instance)", err))
+			return fmt.Errorf("%w (try the greedy scheduler in the library for this instance)", err)
 		}
 		bound = logp.Time(logpopt.KItemBoundsFor(int(m.L), m.P, int64(*k)).SingleSending)
 	case "continuous":
 		var inst *logpopt.ContinuousInstance
 		inst, s, err = logpopt.ContinuousSolveGeneral(int(m.L), m.P-1, *k)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		bound = logp.Time(inst.Delay() + *k - 1)
 	case "summation":
 		if *deadline <= 0 {
-			fail(errors.New("summation requires -t <deadline> (e.g. -t 28 for Figure 6)"))
+			return errors.New("summation requires -t <deadline> (e.g. -t 28 for Figure 6)")
 		}
 		var pl *logpopt.SummationPlan
-		pl, err = logpopt.BuildSummation(m, logp.Time(*deadline))
+		pl, err = summation.BuildWith(m, logp.Time(*deadline), tb)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		s = pl.Schedule()
 		bound = logp.Time(*deadline)
 	default:
-		fail(fmt.Errorf("unknown op %q", *op))
+		return fmt.Errorf("unknown op %q (want one of %v)", *op, ops)
 	}
 
 	if tracer != nil {
@@ -184,7 +235,7 @@ func main() {
 		eng.Tracer = tracer
 		eng.Replay(s, conform.DerivedOrigins(s))
 		if err := closeTrace(); err != nil {
-			fail(err)
+			return err
 		}
 	}
 
@@ -196,32 +247,31 @@ func main() {
 				r = *ref
 			}
 			if err := rep.SetBound(bound, r); err != nil {
-				fail(err)
+				return err
 			}
 		}
 		if *render == "svg" {
-			fmt.Print(trace.SVGHighlight(s, rep.CriticalSet()))
-			fmt.Fprint(os.Stderr, rep.String())
+			fmt.Fprint(stdout, trace.SVGHighlight(s, rep.CriticalSet()))
+			fmt.Fprint(stderr, rep.String())
 		} else {
-			fmt.Print(rep.String())
+			fmt.Fprint(stdout, rep.String())
 		}
-		return
+		return nil
 	}
 
 	switch *render {
 	case "json":
-		if err := s.WriteJSON(os.Stdout); err != nil {
-			fail(cliutil.WriteError("schedule JSON", "stdout", err))
+		if err := s.WriteJSON(stdout); err != nil {
+			return cliutil.WriteError("schedule JSON", "stdout", err)
 		}
 	case "gantt":
-		fmt.Print(logpopt.Gantt(s))
+		fmt.Fprint(stdout, logpopt.Gantt(s))
 	case "table":
-		fmt.Print(logpopt.ReceptionTable(s))
+		fmt.Fprint(stdout, logpopt.ReceptionTable(s))
 	case "svg":
-		fmt.Print(logpopt.TimelineSVG(s))
+		fmt.Fprint(stdout, logpopt.TimelineSVG(s))
 	default:
-		fail(fmt.Errorf("unknown render %q", *render))
+		return fmt.Errorf("unknown render %q (want json, gantt, table, or svg)", *render)
 	}
+	return nil
 }
-
-func fail(err error) { cliutil.Fail("logpsched", err) }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// exec drives run() in-process and returns (stdout, err).
+func exec(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+// TestRejectsBadFlags pins the flag-validation contract: every malformed
+// invocation must fail with a message naming the offending flag, never
+// panic or emit a schedule.
+func TestRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"zero P", []string{"-P", "0"}, "-P"},
+		{"negative P", []string{"-P", "-3"}, "-P"},
+		{"postal zero P", []string{"-postal", "-P", "0"}, "-P"},
+		{"zero L", []string{"-L", "0"}, "-L"},
+		{"negative L", []string{"-L", "-2"}, "-L"},
+		{"negative o", []string{"-o", "-1"}, "-o"},
+		{"zero g", []string{"-g", "0"}, "-g"},
+		{"unknown op", []string{"-op", "sideways"}, `unknown op "sideways"`},
+		{"unknown constructor", []string{"-constructor", "psychic"}, "unknown constructor"},
+		{"unknown render", []string{"-render", "hologram"}, "unknown render"},
+		{"zero k", []string{"-op", "alltoall", "-k", "0"}, "-k"},
+		{"kitem zero k", []string{"-op", "kitem", "-P", "4", "-L", "3", "-k", "0"}, "-k"},
+		{"summation without t", []string{"-op", "summation", "-L", "6", "-o", "2", "-g", "4"}, "-t"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec(t, tc.args...)
+			if err == nil {
+				t.Fatalf("args %v accepted; stdout %q", tc.args, out)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+			if out != "" {
+				t.Fatalf("args %v: error case wrote output %q", tc.args, out)
+			}
+		})
+	}
+}
+
+// TestConstructorsEmitIdenticalSchedules pins the -constructor contract:
+// search and logtime produce byte-identical JSON for every tree-backed op,
+// and auto accepts both sides of the threshold.
+func TestConstructorsEmitIdenticalSchedules(t *testing.T) {
+	for _, op := range []string{"broadcast", "reduce", "scan", "summation"} {
+		args := []string{"-op", op, "-P", "63", "-L", "6", "-o", "2", "-g", "4"}
+		if op == "summation" {
+			args = append(args, "-t", "40")
+		}
+		search, err := exec(t, append(args, "-constructor", "search")...)
+		if err != nil {
+			t.Fatalf("%s search: %v", op, err)
+		}
+		lt, err := exec(t, append(args, "-constructor", "logtime")...)
+		if err != nil {
+			t.Fatalf("%s logtime: %v", op, err)
+		}
+		if search != lt {
+			t.Fatalf("%s: search and logtime JSON differ", op)
+		}
+		if search == "" {
+			t.Fatalf("%s: empty schedule output", op)
+		}
+	}
+}
+
+// TestDegenerateCLI pins the P=1 and P=2 behavior end to end: a P=1
+// broadcast is a valid empty schedule, P=2 has exactly one exchange.
+func TestDegenerateCLI(t *testing.T) {
+	out, err := exec(t, "-op", "broadcast", "-P", "1", "-render", "table")
+	if err != nil {
+		t.Fatalf("P=1: %v", err)
+	}
+	if strings.Contains(out, "->") {
+		t.Fatalf("P=1 broadcast communicates:\n%s", out)
+	}
+	out, err = exec(t, "-op", "broadcast", "-P", "2", "-L", "6", "-o", "2", "-g", "4", "-explain")
+	if err != nil {
+		t.Fatalf("P=2: %v", err)
+	}
+	if !strings.Contains(out, "finish 10") || !strings.Contains(out, "gap 0") {
+		t.Fatalf("P=2 explain: want finish o+L+o=10 with gap 0, got:\n%s", out)
+	}
+}
+
+// TestExplainGapZero is the acceptance check that the logtime-built
+// broadcast meets its own bound exactly above the auto threshold.
+func TestExplainGapZero(t *testing.T) {
+	out, err := exec(t, "-op", "broadcast", "-P", "1000", "-explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gap 0") {
+		t.Fatalf("logtime-built broadcast misses its bound:\n%s", out)
+	}
+}

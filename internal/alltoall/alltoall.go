@@ -29,8 +29,13 @@ import (
 )
 
 // LowerBound returns the all-to-all broadcast lower bound
-// L + 2o + (k(P-1)-1)g from Section 4.1.
+// L + 2o + (k(P-1)-1)g from Section 4.1. With a single processor (or k=0)
+// nothing moves, so the bound is 0, not the negative value the formula
+// would yield.
 func LowerBound(m logp.Machine, k int) logp.Time {
+	if m.P < 2 || k < 1 {
+		return 0
+	}
 	return m.L + 2*m.O + logp.Time(int64(k)*int64(m.P-1)-1)*m.G
 }
 

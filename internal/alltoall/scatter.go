@@ -41,7 +41,11 @@ func Scatter(m logp.Machine) *schedule.Schedule {
 
 // ScatterLowerBound returns L + 2o + (P-2)g: the source alone needs
 // (P-2)g + o of port time and the last message needs L + o more to land.
+// With a single processor nothing moves and the bound is 0.
 func ScatterLowerBound(m logp.Machine) logp.Time {
+	if m.P < 2 {
+		return 0
+	}
 	return m.L + 2*m.O + logp.Time(m.P-2)*m.G
 }
 

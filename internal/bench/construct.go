@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/logtime"
+	"logpopt/internal/schedule"
+)
+
+// Constructor seam: every figure and table that needs the optimal broadcast
+// tree routes through buildTree/bTime/broadcastSchedule, so logpbench's
+// -constructor flag switches the whole reproduction pipeline between the
+// heap search and the search-free logtime construction. The default "auto"
+// picks logtime at P >= logtime.DefaultThreshold — the paper figures stay
+// on the search (their P is small), large sweeps get the closed form — and
+// both constructors emit identical trees, so the rendered output is
+// byte-identical either way.
+var constructorMode = "auto"
+
+// SetConstructor selects the broadcast-tree constructor for every
+// subsequent figure and table: "auto", "search", or "logtime".
+func SetConstructor(mode string) error {
+	_, _, err := logtime.Select(mode, 2)
+	if err != nil {
+		return err
+	}
+	constructorMode = mode
+	return nil
+}
+
+func buildTree(m logp.Machine, p int) *core.Tree {
+	tb, _, _ := logtime.Select(constructorMode, p)
+	return tb(m, p)
+}
+
+// bTime is core.B through the selected constructor.
+func bTime(m logp.Machine, p int) logp.Time {
+	return buildTree(m, p).MaxLabel()
+}
+
+// broadcastSchedule is core.BroadcastSchedule through the selected
+// constructor.
+func broadcastSchedule(m logp.Machine, item int) *schedule.Schedule {
+	s, err := core.TreeSchedule(buildTree(m, m.P), item, nil, 0)
+	if err != nil {
+		panic(err) // identity assignment cannot mismatch
+	}
+	return s
+}
+
+// ConstructionTable is experiment CTOR: for each processor count it builds
+// the optimal broadcast tree with both constructors, proves them identical
+// node for node, and reports B(P) plus the per-rank answers the logtime
+// side can give without materializing anything. Wall times deliberately
+// stay out of the table (it must be byte-reproducible); the ns/op numbers
+// live in the Construct benchmarks recorded in BENCH_3.json.
+func ConstructionTable() *Table {
+	m0 := logp.ProfilePaperFig1 // L=6 o=2 g=4
+	tb := &Table{
+		Title:  "Construction: heap search vs logtime counting (L=6 o=2 g=4)",
+		Header: []string{"P", "B(P)", "trees", "rank P-1 label", "rank P-1 parent", "rank P/2 label"},
+	}
+	for _, p := range []int{8, 64, 1000, 100000} {
+		m := m0.WithP(p)
+		search := core.OptimalTree(m, p)
+		lt := logtime.Tree(m, p)
+		agree := reflect.DeepEqual(search.Nodes, lt.Nodes)
+		last := logtime.Node(m, p, p-1)
+		mid := logtime.Node(m, p, p/2)
+		tb.Add(p, lt.MaxLabel(), okMark(agree), last.Label, last.Parent, mid.Label)
+	}
+	// Past any materializable size the closed form keeps answering: the
+	// per-rank queries below never build a tree.
+	huge := m0.WithP(1 << 30)
+	n := logtime.Node(huge, 1<<30, 1<<29)
+	tb.Note("per-rank queries stay O(log P): rank 2^29 of P=2^30 has label %d, parent %d (no tree built)",
+		n.Label, n.Parent)
+	tb.Note("B(P) per constructor ns/op: see the Construct benchmarks in BENCH_3.json")
+	return tb
+}
+
+func okMark(b bool) string {
+	if b {
+		return "identical"
+	}
+	return "DIVERGE"
+}
+
+// ConstructorName resolves what "auto" means at a given P, for display.
+func ConstructorName(p int) string {
+	_, name, _ := logtime.Select(constructorMode, p)
+	return fmt.Sprintf("%s (mode %s)", name, constructorMode)
+}

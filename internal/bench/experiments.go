@@ -77,7 +77,7 @@ func SingleItemTable() *Table {
 	}
 	for _, mc := range machines {
 		m := mc.m
-		opt := core.B(m, m.P)
+		opt := bTime(m, m.P)
 		bin := baseline.TreeTime(baseline.BinomialTree(m, m.P))
 		bt := baseline.TreeTime(baseline.BinaryTree(m, m.P))
 		fl := baseline.TreeTime(baseline.FlatTree(m, m.P))
@@ -300,7 +300,7 @@ func CombineTable(lMax int) *Table {
 				}
 			}
 			m := logp.Postal(p, logp.Time(l))
-			tb.Add(l, T, p, ok(segErr == nil), ok(sumOK), core.B(m, p))
+			tb.Add(l, T, p, ok(segErr == nil), ok(sumOK), bTime(m, p))
 		}
 	}
 	tb.Note("reduce time = combining time: all-to-all combining is as fast as all-to-one reduction")
@@ -458,7 +458,7 @@ func ExtensionsTable() *Table {
 		gfin, gerr := alltoall.GatherComplete(ga)
 		bound := alltoall.ScatterLowerBound(m)
 		scan := combine.ScanSchedule(m, m.P)
-		twoB := 2 * core.B(m, m.P)
+		twoB := 2 * bTime(m, m.P)
 		pass := sc.LastRecv() == bound && gerr == nil && gfin == bound &&
 			scan.LastRecv() == twoB &&
 			len(schedule.Validate(sc)) == 0 && len(schedule.Validate(ga)) == 0 &&

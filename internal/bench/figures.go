@@ -17,13 +17,13 @@ import (
 // g=4, o=2 and each processor's activity over time.
 func Figure1() (string, error) {
 	m := logp.ProfilePaperFig1
-	tr := core.OptimalTree(m, m.P)
-	s := core.BroadcastSchedule(m, 0)
+	tr := buildTree(m, m.P)
+	s := broadcastSchedule(m, 0)
 	if vs := schedule.ValidateBroadcast(s, core.Origins(0)); len(vs) != 0 {
 		return "", fmt.Errorf("bench: figure 1 schedule invalid: %v", vs[0])
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 1: optimal broadcast tree, %v; B(8) = %d\n\n", m, core.B(m, m.P))
+	fmt.Fprintf(&b, "Figure 1: optimal broadcast tree, %v; B(8) = %d\n\n", m, tr.MaxLabel())
 	b.WriteString("Tree (node @availability-time):\n")
 	b.WriteString(tr.String())
 	b.WriteString("\nActivity (S/s send overhead, R/r receive overhead):\n")

@@ -165,7 +165,14 @@ func initialSegments(p int) []Segment {
 //
 // Message ids are the sending processor's index.
 func ReduceSchedule(m logp.Machine, p int) *schedule.Schedule {
-	tr := core.OptimalTree(m, p)
+	return ReduceScheduleWith(m, p, core.OptimalTree)
+}
+
+// ReduceScheduleWith is ReduceSchedule with the broadcast-tree constructor
+// injected; the search-free internal/logtime builder produces the identical
+// tree and hence the identical reduction schedule.
+func ReduceScheduleWith(m logp.Machine, p int, tb core.TreeBuilder) *schedule.Schedule {
+	tr := tb(m, p)
 	T := tr.MaxLabel()
 	s := &schedule.Schedule{M: m}
 	for ni, n := range tr.Nodes {

@@ -107,7 +107,13 @@ func ScanRun[V any](m logp.Machine, vals []V, op func(V, V) V) ([]V, logp.Time, 
 // sending node) followed at time B(P) by the forward broadcast (messages
 // carry exclusive prefixes, item id = p + receiving node).
 func ScanSchedule(m logp.Machine, p int) *schedule.Schedule {
-	tr := core.OptimalTree(m, p)
+	return ScanScheduleWith(m, p, core.OptimalTree)
+}
+
+// ScanScheduleWith is ScanSchedule with the broadcast-tree constructor
+// injected (see ReduceScheduleWith).
+func ScanScheduleWith(m logp.Machine, p int, tb core.TreeBuilder) *schedule.Schedule {
+	tr := tb(m, p)
 	T := tr.MaxLabel()
 	s := &schedule.Schedule{M: m}
 	for ni, nd := range tr.Nodes {

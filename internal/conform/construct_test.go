@@ -1,0 +1,60 @@
+package conform
+
+import (
+	"testing"
+
+	"logpopt/internal/logp"
+)
+
+// TestConstructorsAgree runs the constructor differential over the standard
+// machine sweep: paper machines, the awkward processor counts, both stride
+// regimes, and the beyond-2^31 latency machine. Schedules must match event
+// for event and replay cleanly through all five backends.
+func TestConstructorsAgree(t *testing.T) {
+	ck := NewChecker()
+	for _, mc := range ConstructorMachines() {
+		for _, d := range ck.CheckConstructors(mc.M, mc.SumT) {
+			t.Errorf("%v", d)
+		}
+	}
+}
+
+// TestConstructorsOnGeneratedMachines feeds the constructor differential the
+// same machine distribution the case generators draw from (including the
+// non-power-of-two bias), so the sweep isn't limited to hand-picked shapes.
+func TestConstructorsOnGeneratedMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated-machine constructor sweep")
+	}
+	ck := NewChecker()
+	seen := map[logp.Machine]bool{}
+	for seed := int64(0); seed < 60; seed++ {
+		m := Generate(seed).S.M
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		sumT := logp.Time(3 * (m.L + 2*m.O + 4))
+		for _, d := range ck.CheckConstructors(m, sumT) {
+			t.Errorf("seed %d: %v", seed, d)
+		}
+	}
+}
+
+// TestAwkwardBias pins the generator bias: a fair share of generated
+// machines must land on the awkward processor counts.
+func TestAwkwardBias(t *testing.T) {
+	awk := map[int]bool{}
+	for _, p := range awkwardPs {
+		awk[p] = true
+	}
+	hits := 0
+	for seed := int64(0); seed < 200; seed++ {
+		if awk[Generate(seed).S.M.P] {
+			hits++
+		}
+	}
+	if hits < 30 {
+		t.Fatalf("only %d/200 generated machines hit awkward P counts", hits)
+	}
+}

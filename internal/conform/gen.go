@@ -44,10 +44,19 @@ func Generate(seed int64) Case {
 	return Case{Name: name, S: s, Origins: origins}
 }
 
+// awkwardPs are processor counts the generators bias toward: off
+// powers of two (straddling 64), small odd primes, and one large count —
+// shapes where rounding bugs in schedule constructors historically hide.
+var awkwardPs = []int{3, 5, 7, 63, 65, 1000}
+
 func randMachine(rng *rand.Rand) logp.Machine {
 	for {
+		p := 2 + rng.Intn(5)
+		if rng.Float64() < 0.3 {
+			p = awkwardPs[rng.Intn(len(awkwardPs))]
+		}
 		m := logp.Machine{
-			P: 2 + rng.Intn(5),
+			P: p,
 			L: logp.Time(1 + rng.Intn(8)),
 			O: logp.Time(rng.Intn(3)),
 			G: logp.Time(1 + rng.Intn(3)),

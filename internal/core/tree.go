@@ -25,6 +25,13 @@ type Tree struct {
 	Nodes []Node
 }
 
+// TreeBuilder constructs the optimal broadcast tree ß(p) for a machine. It
+// is the seam through which alternative constructors (the heap-based
+// OptimalTree, the search-free internal/logtime builder) plug into the
+// schedule expanders: every implementation must produce the identical tree,
+// node for node, so callers may treat them interchangeably.
+type TreeBuilder func(m logp.Machine, p int) *Tree
+
 // P returns the number of nodes (processors participating in the broadcast).
 func (t *Tree) P() int { return len(t.Nodes) }
 

@@ -35,6 +35,7 @@ package causal
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -128,9 +129,15 @@ func (b Breakdown) Scaled(total logp.Time) Breakdown {
 	idx := [6]int{0, 1, 2, 3, 4, 5}
 	rems := [6]logp.Time{}
 	for i, c := range comps {
-		out[i] = c * total / t
+		// c*total overflows int64 once event times pass ~2^31 (huge-L
+		// machines put both c and total there), so the product is carried
+		// in 128 bits. c <= t keeps the quotient below total and the
+		// remainder below t, so both always fit back into int64.
+		hi, lo := bits.Mul64(uint64(c), uint64(total))
+		q, r := bits.Div64(hi, lo, uint64(t))
+		out[i] = logp.Time(q)
 		sum += out[i]
-		rems[i] = c * total % t
+		rems[i] = logp.Time(r)
 	}
 	sort.SliceStable(idx[:], func(x, y int) bool { return rems[idx[x]] > rems[idx[y]] })
 	for k := logp.Time(0); k < total-sum; k++ {

@@ -1,0 +1,58 @@
+package causal
+
+import (
+	"testing"
+
+	"logpopt/internal/logp"
+)
+
+// TestScaledHugeComponents is the regression test for the int64 overflow in
+// Breakdown.Scaled: with component magnitudes past 2^31 (huge-L machines
+// put critical-path components there) the c*total product exceeded int64
+// and the quotients came out negative. The 128-bit carry keeps them exact.
+func TestScaledHugeComponents(t *testing.T) {
+	b := Breakdown{
+		Latency:  3_000_000_001, // c*total overflows int64 pre-fix
+		Overhead: 2_000_000_003,
+	}
+	total := logp.Time(4_000_000_000)
+	got := b.Scaled(total)
+	if got.Total() != total {
+		t.Fatalf("Scaled total = %d, want %d (breakdown %v)", got.Total(), total, got)
+	}
+	for _, c := range []logp.Time{got.Latency, got.Overhead, got.Gap, got.Compute, got.Origin, got.Wait} {
+		if c < 0 {
+			t.Fatalf("negative component after scaling: %v", got)
+		}
+	}
+	// Components that were zero must stay zero: the slack belongs to the
+	// classes that actually appear on the critical path.
+	if got.Gap != 0 || got.Compute != 0 || got.Origin != 0 || got.Wait != 0 {
+		t.Fatalf("zero components gained cycles: %v", got)
+	}
+	// Proportions survive the scaling to within the rounding unit.
+	tt := b.Total()
+	wantLat := float64(b.Latency) / float64(tt) * float64(total)
+	if d := float64(got.Latency) - wantLat; d > 1 || d < -1 {
+		t.Fatalf("Latency = %d, want about %.1f", got.Latency, wantLat)
+	}
+	// Scaling up past 2^33 stays exact too.
+	up := b.Scaled(1 << 33)
+	if up.Total() != 1<<33 || up.Latency < up.Overhead {
+		t.Fatalf("upscale broke proportions: %v", up)
+	}
+}
+
+// TestScaledIdentityAndSmall pins the fast paths around the carry: scaling
+// to the breakdown's own total is the identity, and tiny totals distribute
+// by largest remainder without touching zero components.
+func TestScaledIdentityAndSmall(t *testing.T) {
+	b := Breakdown{Latency: 1 << 32, Overhead: 1 << 31, Gap: 3}
+	if got := b.Scaled(b.Total()); got != b {
+		t.Fatalf("identity scaling changed the breakdown: %v", got)
+	}
+	got := b.Scaled(3)
+	if got.Total() != 3 || got.Compute != 0 || got.Origin != 0 || got.Wait != 0 {
+		t.Fatalf("small-total scaling: %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package schedule
+
+import (
+	"testing"
+
+	"logpopt/internal/logp"
+)
+
+// TestComputeStatsHugeTimes pins the statistics pipeline past 2^31: event
+// times, spans, and idle-cycle differences on a huge-latency machine must
+// come out exact, with no wrapped or negative cycle counts anywhere.
+func TestComputeStatsHugeTimes(t *testing.T) {
+	m := logp.MustNew(4, 1<<31, 2, 5)
+	s := &Schedule{M: m}
+	base := logp.Time(3) << 32 // ~1.3e10: far past int32
+	s.Send(0, base, 0, 1)
+	s.Recv(1, base+m.O+m.L, 0, 0)
+	s.Send(1, base+2*(m.O+m.L), 0, 2)
+	s.Recv(2, base+3*(m.O+m.L), 0, 1)
+	span := base + 4*(m.O+m.L)
+
+	st := ComputeStats(s, span, nil)
+	if st.Sends != 2 || st.Recvs != 2 {
+		t.Fatalf("sends/recvs = %d/%d, want 2/2", st.Sends, st.Recvs)
+	}
+	if want := 4 * int64(m.O); st.BusyCycles != want {
+		t.Fatalf("BusyCycles = %d, want %d", st.BusyCycles, want)
+	}
+	if st.Span != span {
+		t.Fatalf("Span = %d, want %d", st.Span, span)
+	}
+	for p, pp := range st.PerProc {
+		if pp.BusyCycles < 0 || pp.IdleCycles < 0 {
+			t.Fatalf("P%d: negative cycles: %+v", p, pp)
+		}
+		if want := int64(span) - pp.BusyCycles; pp.IdleCycles != want {
+			t.Fatalf("P%d: IdleCycles = %d, want span-busy = %d", p, pp.IdleCycles, want)
+		}
+	}
+	if st.PortUtilFinish <= 0 || st.PortUtilFinish >= 1 {
+		t.Fatalf("PortUtilFinish = %v out of (0,1) for a nearly idle run", st.PortUtilFinish)
+	}
+	if got := s.Makespan(); got != base+3*(m.O+m.L)+m.O {
+		t.Fatalf("Makespan = %d", got)
+	}
+}

@@ -57,6 +57,14 @@ func Validate(m logp.Machine) error {
 // realizing it. Nodes are admitted while their marginal contribution
 // t - d - o is positive, up to m.P nodes. For t < 0 capacity is 0.
 func Capacity(m logp.Machine, t logp.Time) (int64, *core.Tree) {
+	return CapacityWith(m, t, core.OptimalTree)
+}
+
+// CapacityWith is Capacity with the broadcast-tree constructor injected: tb
+// must produce ß(p) on the lazy machine exactly as core.OptimalTree does
+// (the internal/logtime builder qualifies), so plans built through either
+// constructor are identical.
+func CapacityWith(m logp.Machine, t logp.Time, tb core.TreeBuilder) (int64, *core.Tree) {
 	if err := Validate(m); err != nil {
 		panic(err)
 	}
@@ -80,7 +88,7 @@ func Capacity(m logp.Machine, t logp.Time) (int64, *core.Tree) {
 			p = 1
 		}
 	}
-	tr := core.OptimalTree(lm, p)
+	tr := tb(lm, p)
 	n := int64(m.O) + 1
 	for _, nd := range tr.Nodes {
 		c := t - nd.Label - m.O
@@ -153,13 +161,20 @@ type Plan struct {
 
 // Build constructs the optimal summation plan for deadline t.
 func Build(m logp.Machine, t logp.Time) (*Plan, error) {
+	return BuildWith(m, t, core.OptimalTree)
+}
+
+// BuildWith is Build with the broadcast-tree constructor injected (see
+// CapacityWith); any constructor producing the universal tree node for node
+// yields the identical plan.
+func BuildWith(m logp.Machine, t logp.Time, tb core.TreeBuilder) (*Plan, error) {
 	if err := Validate(m); err != nil {
 		return nil, err
 	}
 	if t < 0 {
 		return nil, fmt.Errorf("summation: negative deadline %d", t)
 	}
-	n, tr := Capacity(m, t)
+	n, tr := CapacityWith(m, t, tb)
 	pl := &Plan{M: m, T: t, Tree: tr, N: n}
 	pl.SendAt = make([]logp.Time, tr.P())
 	pl.Locals = make([]int64, tr.P())

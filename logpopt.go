@@ -34,6 +34,7 @@ import (
 	"logpopt/internal/core"
 	"logpopt/internal/kitem"
 	"logpopt/internal/logp"
+	"logpopt/internal/logtime"
 	"logpopt/internal/runtime"
 	"logpopt/internal/schedule"
 	"logpopt/internal/sim"
@@ -124,6 +125,37 @@ var (
 	// BroadcastOrigins returns the origin map of a single broadcast from
 	// processor 0.
 	BroadcastOrigins = core.Origins
+)
+
+// Search-free logarithmic-time construction (internal/logtime; DESIGN.md
+// §5b). Interchangeable with the heap-search constructors above — trees are
+// node-for-node identical — but built by counting label points: B(P) without
+// any tree, and any single processor's entry in O(log P).
+type (
+	// LogtimeBuilder holds the counting tables of the universal optimal
+	// broadcast tree for one machine shape, shared across every P queried.
+	LogtimeBuilder = logtime.Builder
+	// LogtimeNodeInfo describes one node of ß(P) by rank: label, parent,
+	// send time, and children, answerable without materializing the tree.
+	LogtimeNodeInfo = logtime.NodeInfo
+)
+
+var (
+	// LogtimeBroadcastTime is BroadcastTime computed from counting tables
+	// with no tree construction — ~10 µs cold at P = 10⁵ vs ~54 ms for the
+	// heap search (BENCH_3.json).
+	LogtimeBroadcastTime = logtime.B
+	// LogtimeNode answers a per-rank query against ß(P) in O(log P).
+	LogtimeNode = logtime.Node
+	// LogtimeBroadcastTree is OptimalBroadcastTree via the counting
+	// construction; the result is node-for-node identical.
+	LogtimeBroadcastTree = logtime.Tree
+	// LogtimeBroadcastSchedule is BroadcastSchedule via the counting
+	// construction.
+	LogtimeBroadcastSchedule = logtime.BroadcastSchedule
+	// SelectConstructor resolves "auto", "search", or "logtime" to a tree
+	// constructor; auto switches to logtime at P >= 512.
+	SelectConstructor = logtime.Select
 )
 
 // k-item broadcast (Sections 3, 3.4, 3.5; internal/kitem).
