@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke report-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
 
 all: build test
 
@@ -64,6 +64,14 @@ trace-smoke:
 	$(GO) run ./cmd/logpsched -op kitem -P 10 -L 3 -k 8 -trace trace-smoke.json > /dev/null
 	$(GO) run ./cmd/tracecheck trace-smoke.json
 	@rm -f trace-smoke.json
+
+# Smoke-test the run-report artifact chain: compile a schedule with -report
+# on and round-trip the emitted JSON through the strict schema checker.
+report-smoke:
+	$(GO) run ./cmd/logpsched -op broadcast -P 512 -report report-smoke.json > /dev/null
+	$(GO) run ./cmd/logpsched -op summation -P 8 -L 5 -o 2 -g 4 -t 28 -report report-smoke-sum.json > /dev/null
+	$(GO) run ./cmd/reportcheck report-smoke.json report-smoke-sum.json
+	@rm -f report-smoke.json report-smoke-sum.json
 
 # Short fuzzing pass over the schedule validator and the conformance harness.
 fuzz:

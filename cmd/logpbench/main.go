@@ -24,6 +24,8 @@ import (
 
 	"logpopt/internal/bench"
 	"logpopt/internal/cliutil"
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
 	"logpopt/internal/obs"
 	"logpopt/internal/par"
 )
@@ -72,9 +74,10 @@ func main() {
 			"worker-pool width for solver portfolios and table sweeps (default GOMAXPROCS); results are identical for any value")
 		ctor = flag.String("constructor", "auto",
 			"broadcast-tree constructor for every experiment: auto, search, or logtime (auto: logtime at P >= 512); output is identical for all three")
-		traceOut = flag.String("trace", "", cliutil.TraceUsage)
-		metrics  = flag.Bool("metrics", false, cliutil.MetricsUsage)
-		serveOn  = flag.String("serve", "", cliutil.ServeUsage)
+		traceOut  = flag.String("trace", "", cliutil.TraceUsage)
+		reportOut = flag.String("report", "", cliutil.ReportUsage+"; the report covers the paper's canonical broadcast (P=8 L=6 o=2 g=4) and annotates how many experiments ran")
+		metrics   = flag.Bool("metrics", false, cliutil.MetricsUsage)
+		serveOn   = flag.String("serve", "", cliutil.ServeUsage)
 	)
 	flag.Parse()
 	par.SetLimit(*parallel)
@@ -100,7 +103,9 @@ func main() {
 	if srv != nil {
 		defer srv.Close()
 	}
+	ran := 0
 	runTraced := func(e experiment) (string, error) {
+		ran++
 		if tracer == nil {
 			return e.run()
 		}
@@ -112,6 +117,21 @@ func main() {
 	finish := func() {
 		if tracer != nil {
 			if err := cliutil.WriteTrace("logpbench", tracer, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *reportOut != "" {
+			// The bench report is a fixed reference point: the paper's
+			// canonical Figure 1 broadcast, replayed and summarized the
+			// same way on every commit so artifacts diff cleanly, with the
+			// sweep's extent recorded alongside.
+			m := logp.MustNew(8, 6, 2, 4)
+			s := core.BroadcastSchedule(m, 0)
+			r := cliutil.BuildReport("logpbench", "broadcast", s, core.Origins(0),
+				core.OptimalTree(m, m.P).MaxLabel(), nil)
+			r.Extra = map[string]any{"experiments": ran}
+			if err := cliutil.WriteReport("logpbench", r, *reportOut); err != nil {
 				fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
 				os.Exit(1)
 			}

@@ -52,6 +52,7 @@ func main() {
 	traceOut := flag.String("trace", "", cliutil.TraceUsage)
 	metrics := flag.Bool("metrics", false, cliutil.MetricsUsage)
 	metricsOut := flag.String("metricsout", "", "write the metrics snapshot in Prometheus text format to `file` before exiting (default: off)")
+	reportOut := flag.String("report", "", cliutil.ReportUsage+"; on divergence the report covers the first shrunk failing case, otherwise the canonical paper broadcast, with the sweep's case counts annotated")
 	serveOn := flag.String("serve", "", cliutil.ServeUsage)
 	dumpdir := flag.String("dumpdir", "conform-traces", "directory for per-backend trace dumps of shrunk diverging cases")
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 		defer srv.Close()
 	}
 	checked, diverged := 0, 0
+	var firstBad *conform.Case
 
 	runCase := func(c conform.Case) {
 		checked++
@@ -90,6 +92,9 @@ func main() {
 			fmt.Printf("  %s\n", d)
 		}
 		min := conform.Shrink(c, ck.Diverges)
+		if firstBad == nil {
+			firstBad = &min
+		}
 		fmt.Printf("  shrunk to %d events on %v:\n", len(min.S.Events), min.S.M)
 		for _, ev := range min.S.Events {
 			fmt.Printf("    %+v\n", ev)
@@ -158,6 +163,22 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := cliutil.WriteMetricsFile(*metricsOut); err != nil {
+			fail(err)
+		}
+	}
+	if *reportOut != "" {
+		// On a clean sweep the report pins the canonical paper broadcast;
+		// on divergence it describes the first shrunk failing case, so the
+		// CI artifact carries the reproduction's machine and violation
+		// profile next to its trace dumps.
+		c := conform.PaperCases()[0]
+		op := "conform/" + c.Name
+		if firstBad != nil {
+			c, op = *firstBad, "diverged/"+firstBad.Name
+		}
+		r := cliutil.BuildReport("logpconform", op, c.S, c.Origins, -1, nil)
+		r.Extra = map[string]any{"cases_checked": checked, "cases_diverged": diverged}
+		if err := cliutil.WriteReport("logpconform", r, *reportOut); err != nil {
 			fail(err)
 		}
 	}

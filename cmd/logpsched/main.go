@@ -81,19 +81,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("logpsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		op       = fs.String("op", "broadcast", "collective to compile (see doc)")
-		p        = fs.Int("P", 8, "number of processors")
-		l        = fs.Int64("L", 6, "latency")
-		o        = fs.Int64("o", 2, "overhead")
-		g        = fs.Int64("g", 4, "gap")
-		postal   = fs.Bool("postal", false, "postal model (forces o=0, g=1)")
-		k        = fs.Int("k", 1, "items for kitem/alltoall/continuous")
-		deadline = fs.Int64("t", 0, "deadline for -op summation (cycles)")
-		ctor     = fs.String("constructor", "auto", "broadcast-tree constructor: auto, search, or logtime (auto: logtime at P >= 512)")
-		render   = fs.String("render", "json", "output: json, gantt, table, svg")
-		explain  = fs.Bool("explain", false, "print a causal critical-path report instead of the schedule (with -render svg: highlighted SVG on stdout, report on stderr)")
-		traceOut = fs.String("trace", "", cliutil.TraceUsage)
-		metrics  = fs.Bool("metrics", false, cliutil.MetricsUsage)
+		op        = fs.String("op", "broadcast", "collective to compile (see doc)")
+		p         = fs.Int("P", 8, "number of processors")
+		l         = fs.Int64("L", 6, "latency")
+		o         = fs.Int64("o", 2, "overhead")
+		g         = fs.Int64("g", 4, "gap")
+		postal    = fs.Bool("postal", false, "postal model (forces o=0, g=1)")
+		k         = fs.Int("k", 1, "items for kitem/alltoall/continuous")
+		deadline  = fs.Int64("t", 0, "deadline for -op summation (cycles)")
+		ctor      = fs.String("constructor", "auto", "broadcast-tree constructor: auto, search, or logtime (auto: logtime at P >= 512)")
+		render    = fs.String("render", "json", "output: json, gantt, table, svg")
+		explain   = fs.Bool("explain", false, "print a causal critical-path report instead of the schedule (with -render svg: highlighted SVG on stdout, report on stderr)")
+		traceOut  = fs.String("trace", "", cliutil.TraceUsage)
+		sample    = fs.Uint64("tracesample", 1, "with -trace: keep replay spans for a seeded 1-in-N sample of processors; rank 0, the critical path, and the engine track are always kept, and counter graphs are thinned by the same factor. 1 keeps everything")
+		reportOut = fs.String("report", "", cliutil.ReportUsage)
+		metrics   = fs.Bool("metrics", false, cliutil.MetricsUsage)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tb, _, err := logtime.Select(*ctor, m.P)
+	tb, ctorName, err := logtime.Select(*ctor, m.P)
 	if err != nil {
 		return err
 	}
@@ -224,6 +226,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown op %q (want one of %v)", *op, ops)
 	}
 
+	// The causal analysis feeds three consumers — the sampler's keep set,
+	// the run report's breakdown, and -explain — so it is computed at most
+	// once and shared.
+	var crep *causal.Report
+	analyze := func() *causal.Report {
+		if crep == nil {
+			crep = causal.Analyze(s, conform.DerivedOrigins(s))
+		}
+		return crep
+	}
+
 	if tracer != nil {
 		// Replay the compiled schedule on the strict simulator purely to
 		// record its flight: per-processor send/recv spans in virtual LogP
@@ -231,16 +244,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// first sender at time zero — which can only make more items
 		// available, never fewer, so the replay is violation-free whenever
 		// the schedule is.
+		if *sample > 1 {
+			// Bound the trace: keep rank 0, every processor on the causal
+			// critical path, the engine's violation track, and a
+			// deterministic 1-in-N sample of the rest.
+			keep := []int{s.M.P}
+			for pr := range analyze().CriticalProcs() {
+				keep = append(keep, pr)
+			}
+			tracer.SetSampler(sim.DefaultTracePID, obs.NewSampler(*sample, 1, keep...))
+		}
 		eng := sim.New(s.M, sim.Strict)
 		eng.Tracer = tracer
 		eng.Replay(s, conform.DerivedOrigins(s))
 		if err := closeTrace(); err != nil {
 			return err
 		}
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(stderr, "logpsched: trace sampling kept %d of %d events\n",
+				tracer.Len(), tracer.Len()+int(n))
+		}
+	}
+
+	if *reportOut != "" {
+		r := cliutil.BuildReport("logpsched", *op, s, conform.DerivedOrigins(s), bound, analyze())
+		r.Constructor = ctorName
+		if err := cliutil.WriteReport("logpsched", r, *reportOut); err != nil {
+			return err
+		}
 	}
 
 	if *explain {
-		rep := causal.Analyze(s, conform.DerivedOrigins(s))
+		rep := analyze()
 		if bound >= 0 {
 			r := rep.Achieved.Scaled(bound)
 			if ref != nil {

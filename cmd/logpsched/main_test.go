@@ -2,8 +2,19 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	logpopt "logpopt"
+	"logpopt/internal/baseline"
+	"logpopt/internal/combine"
+	"logpopt/internal/conform"
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/obs/report"
+	"logpopt/internal/schedule"
+	"logpopt/internal/sim"
 )
 
 // exec drives run() in-process and returns (stdout, err).
@@ -107,5 +118,53 @@ func TestExplainGapZero(t *testing.T) {
 	}
 	if !strings.Contains(out, "gap 0") {
 		t.Fatalf("logtime-built broadcast misses its bound:\n%s", out)
+	}
+}
+
+// TestReportMatchesSim is the -report acceptance check: the emitted
+// artifact round-trips the strict schema reader, its finish equals what a
+// direct simulated replay of the same schedule produces, and the causal
+// breakdown sums to that finish.
+func TestReportMatchesSim(t *testing.T) {
+	for _, op := range []string{"broadcast", "reduce", "scatter", "binomial"} {
+		path := filepath.Join(t.TempDir(), op+".json")
+		if _, err := exec(t, "-op", op, "-P", "48", "-report", path); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		r, err := report.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: report does not round-trip: %v", op, err)
+		}
+
+		// Recompute the schedule and replay it independently.
+		m := logp.MustNew(48, 6, 2, 4)
+		var s *schedule.Schedule
+		switch op {
+		case "broadcast":
+			s = core.BroadcastSchedule(m, 0)
+		case "reduce":
+			s = combine.ReduceSchedule(m, m.P)
+		case "scatter":
+			s = logpopt.ScatterSchedule(m)
+		case "binomial":
+			var berr error
+			s, berr = baseline.Schedule(logpopt.BinomialTree(m, m.P), 0)
+			if berr != nil {
+				t.Fatal(berr)
+			}
+		}
+		simRep := sim.New(m, sim.Strict).Replay(s, conform.DerivedOrigins(s))
+		if r.Finish != int64(simRep.Finish) {
+			t.Fatalf("%s: report finish %d, sim finish %d", op, r.Finish, simRep.Finish)
+		}
+		if r.Breakdown == nil || r.Breakdown.Total() != r.Finish {
+			t.Fatalf("%s: breakdown does not sum to finish: %+v", op, r.Breakdown)
+		}
+		if r.Violations != 0 {
+			t.Fatalf("%s: clean schedule reported %d violations", op, r.Violations)
+		}
+		if len(r.Timeseries) == 0 {
+			t.Fatalf("%s: report has no time series summaries", op)
+		}
 	}
 }

@@ -1,0 +1,38 @@
+// Command reportcheck validates logpopt run-report JSON files: each named
+// file must strictly decode against the current report schema (unknown
+// fields rejected) and pass the internal consistency checks — gap equals
+// finish minus bound, the causal breakdown sums to the finish, quantiles
+// are ordered, series aggregates are coherent. It is the assertion behind
+// `make report-smoke` and exits nonzero on the first failure.
+//
+// Usage:
+//
+//	reportcheck run.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"logpopt/internal/obs/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: reportcheck report.json [report.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		r, err := report.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		bound := "no closed-form bound"
+		if r.Bound >= 0 {
+			bound = fmt.Sprintf("bound %d (gap %d)", r.Bound, r.Gap)
+		}
+		fmt.Printf("%s: %s %s P=%d finish %d, %s, %d series, %d violations\n",
+			path, r.Tool, r.Op, r.Machine.P, r.Finish, bound, len(r.Timeseries), r.Violations)
+	}
+}

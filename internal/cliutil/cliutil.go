@@ -8,10 +8,17 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"time"
 
 	"logpopt/internal/logp"
 	"logpopt/internal/obs"
+	"logpopt/internal/obs/causal"
+	"logpopt/internal/obs/report"
 	"logpopt/internal/obs/serve"
+	"logpopt/internal/obs/timeseries"
+	"logpopt/internal/par"
+	"logpopt/internal/schedule"
+	"logpopt/internal/sim"
 	"logpopt/internal/trace"
 )
 
@@ -20,8 +27,10 @@ import (
 const (
 	TraceUsage   = "write a Chrome/Perfetto trace of this run to `file` (default: no trace)"
 	MetricsUsage = "print the metrics snapshot to stderr before exiting (default: off)"
-	ServeUsage   = "serve live telemetry over HTTP on `address` (:0 picks a free port): " +
-		"/metrics, /debug/pprof/, /traces/ (default: off)"
+	ReportUsage  = "write a versioned JSON run report to `file` (machine, finish vs bound, " +
+		"causal breakdown, port stats, time series; default: no report)"
+	ServeUsage = "serve live telemetry over HTTP on `address` (:0 picks a free port): " +
+		"/metrics, /debug/pprof/, /traces/, /timeseries, /runs/, /dashboard (default: off)"
 )
 
 // Machine validates the -P/-L/-o/-g flag values every tool accepts and
@@ -122,22 +131,108 @@ func WriteMetricsFile(path string) error {
 	return nil
 }
 
+// BuildReport assembles the standard run report every tool emits for
+// -report: it replays s on the strict simulator with a time-series
+// collector attached (windowed to ~256 samples however long the run is),
+// so the report's finish and violation count certify what the engine
+// actually executed, then attaches the causal breakdown, condensed port
+// statistics, and the series summaries. bound is the operation's
+// closed-form lower bound (-1: none known). crep may carry a pre-computed
+// causal analysis; pass nil to have BuildReport run it.
+func BuildReport(tool, op string, s *schedule.Schedule, origins map[int]schedule.Origin,
+	bound logp.Time, crep *causal.Report) *report.Report {
+	if crep == nil {
+		crep = causal.Analyze(s, origins)
+	}
+	ts := timeseries.New(0)
+	if w := int64(crep.Finish) / 256; w > 1 {
+		ts.SetWindow(w)
+	}
+	eng := sim.New(s.M, sim.Strict)
+	eng.TS = ts
+	simRep := eng.Replay(s, origins)
+	ts.Sample(int64(eng.Now()))
+
+	r := report.New(tool, s.M)
+	r.Op = op
+	r.SetOutcome(simRep.Finish, bound)
+	r.SetCausal(crep)
+	if r.Breakdown.Total() != r.Finish {
+		// The analyzer and the engine disagree on the finish — possible for
+		// a diverging conformance case. The report certifies the engine's
+		// run, so the breakdown (whose components must sum to the finish)
+		// is omitted rather than attached inconsistently.
+		r.Breakdown = nil
+	}
+	r.Stats = report.FromStats(schedule.ComputeStats(eng.Executed(), simRep.Finish, nil))
+	r.Violations = len(simRep.Violations)
+	r.SetTimeseries(ts)
+	return r
+}
+
+// WriteReport validates r and writes it to path with the uniform error
+// shape and confirmation line. Validation before writing means a tool can
+// never leave a malformed artifact behind: a report that fails its own
+// schema is a bug, reported as one.
+func WriteReport(cmd string, r *report.Report, path string) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("%s: internal error building run report: %w", cmd, err)
+	}
+	if err := r.WriteFile(path); err != nil {
+		return WriteError("run report", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: run report written to %s\n", cmd, path)
+	return nil
+}
+
+// serveSampleInterval is the wall-clock cadence of the collector StartServe
+// attaches for /timeseries and /dashboard.
+const serveSampleInterval = time.Second
+
+// StandardCollector builds the wall-clock collector StartServe serves:
+// process RSS and goroutine count, worker-pool occupancy, and the
+// process-wide counters that move during long solves and sweeps. The
+// returned collector has probes registered but no sampler running; callers
+// drive it with Start or attach it to an engine.
+func StandardCollector() *timeseries.Collector {
+	ts := timeseries.New(0)
+	ts.ProbeProcess()
+	ts.Probe("par.active", par.Active)
+	for _, name := range []string{
+		"sim.events.processed", "sim.replays", "sim.sends", "sim.violations",
+		"par.portfolio.races", "par.portfolio.attempts",
+		"logtime.builder.hits", "logtime.builder.misses",
+	} {
+		ts.ProbeCounter(name, obs.Default.Counter(name))
+	}
+	return ts
+}
+
 // StartServe starts the telemetry server over the default metrics registry
 // when addr is non-empty, announcing the bound address on stderr. A non-nil
-// tracer is exposed live at /traces/live. The caller owns the returned
-// server (nil when addr is empty) and should Close it on shutdown.
+// tracer is exposed live at /traces/live, and a standard wall-clock
+// collector (process RSS, goroutines, pool occupancy, hot registry
+// counters) feeds /timeseries and /dashboard, sampling once a second until
+// the server closes. The caller owns the returned server (nil when addr is
+// empty) and should Close it on shutdown.
 func StartServe(cmd, addr string, tracer *obs.Tracer) (*serve.Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
 	srv := serve.New(nil)
 	if tracer != nil {
-		srv.AddTracer("live", tracer)
+		if err := srv.AddTracer("live", tracer); err != nil {
+			return nil, err
+		}
 	}
+	ts := StandardCollector()
+	srv.SetTimeseries(ts)
+	srv.OnClose(ts.Start(serveSampleInterval))
 	bound, err := srv.Start(addr)
 	if err != nil {
+		srv.Close()
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "%s: telemetry at http://%s/ (/metrics, /debug/pprof/, /traces/)\n", cmd, bound)
+	fmt.Fprintf(os.Stderr, "%s: telemetry at http://%s/ (/metrics, /debug/pprof/, /traces/, /timeseries, /runs/, /dashboard)\n", cmd, bound)
 	return srv, nil
 }

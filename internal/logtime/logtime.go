@@ -49,6 +49,18 @@ import (
 
 	"logpopt/internal/core"
 	"logpopt/internal/logp"
+	"logpopt/internal/obs"
+)
+
+// Builder-cache and table-growth metrics: how often For reuses a per-shape
+// builder versus constructing one, and how many label points the lazily
+// grown counting tables have admitted process-wide. Admissions happen at
+// most O(log P) times per shape, so the atomic add is nowhere near a hot
+// path; the /timeseries probes sample these to show memoization working.
+var (
+	mBuilderHits   = obs.Default.Counter("logtime.builder.hits")
+	mBuilderMisses = obs.Default.Counter("logtime.builder.misses")
+	mPoints        = obs.Default.Counter("logtime.points.admitted")
 )
 
 // satCap bounds every node count so the exponentially growing N(τ) can never
@@ -147,6 +159,7 @@ func (b *Builder) admit(t logp.Time) {
 	}
 	b.classes[c] = append(b.classes[c], int32(len(b.pts)))
 	b.pts = append(b.pts, point{label: t, n: n, g: g, r: r})
+	mPoints.Inc()
 	b.schedule(t + b.d)
 	if t != 0 {
 		b.schedule(t + b.stride)
@@ -391,12 +404,15 @@ type shapeKey struct{ l, o, g logp.Time }
 func For(m logp.Machine) *Builder {
 	k := shapeKey{m.L, m.O, m.G}
 	if b, ok := builders.Load(k); ok {
+		mBuilderHits.Inc()
 		return b.(*Builder)
 	}
 	b := MustBuilder(m)
 	if prev, loaded := builders.LoadOrStore(k, b); loaded {
+		mBuilderHits.Inc()
 		return prev.(*Builder)
 	}
+	mBuilderMisses.Inc()
 	return b
 }
 

@@ -202,6 +202,21 @@ func (r *Report) CriticalSet() map[int]bool {
 	return set
 }
 
+// CriticalProcs returns the processors the critical path touches: each
+// step's acting processor plus the peer of any send or reception on the
+// path. Trace sampling uses it as the always-keep thread set, so a bounded
+// trace still shows the full chain that set the finish time.
+func (r *Report) CriticalProcs() map[int]bool {
+	set := make(map[int]bool, len(r.Path)+1)
+	for _, st := range r.Path {
+		set[st.Event.Proc] = true
+		if st.Event.Peer >= 0 {
+			set[st.Event.Peer] = true
+		}
+	}
+	return set
+}
+
 // Signature renders the critical path as one canonical line, usable for
 // equality checks across backends (the conformance harness diffs it between
 // the simulator's and the runtime's executed traces).

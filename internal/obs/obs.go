@@ -81,6 +81,8 @@ type Tracer struct {
 	streamed int
 	scratch  bytes.Buffer
 	sinkErr  error
+	samplers map[int]*samplerState // per-pid keep/drop policy (see sample.go)
+	dropped  int64
 }
 
 // NewTracer returns an empty tracer whose wall clock (Now) starts at zero.
@@ -139,6 +141,11 @@ func (t *Tracer) StreamErr() error {
 
 func (t *Tracer) add(e event) {
 	t.mu.Lock()
+	if st, ok := t.samplers[e.pid]; ok && !st.keep(&e) {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
 	if t.sink != nil {
 		t.emitLocked(&e)
 	} else {

@@ -97,3 +97,35 @@ func TestWritePrometheus(t *testing.T) {
 		t.Errorf("nil registry: err=%v out=%q", err, b.String())
 	}
 }
+
+// TestWritePrometheusGoldenNameReplacement pins the full exposition for a
+// registry whose metric names need character replacement: every byte
+// outside [a-zA-Z0-9_:] maps to '_', and the logpopt_ prefix survives
+// untouched.
+func TestWritePrometheusGoldenNameReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.events.processed").Add(12)
+	r.Counter("cache-hit%rate").Inc()
+	r.Gauge("queue depth/shard#3").Set(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP logpopt_cache_hit_rate_total Counter "cache-hit%rate".
+# TYPE logpopt_cache_hit_rate_total counter
+logpopt_cache_hit_rate_total 1
+# HELP logpopt_sim_events_processed_total Counter "sim.events.processed".
+# TYPE logpopt_sim_events_processed_total counter
+logpopt_sim_events_processed_total 12
+# HELP logpopt_queue_depth_shard_3 Gauge "queue depth/shard#3".
+# TYPE logpopt_queue_depth_shard_3 gauge
+logpopt_queue_depth_shard_3 5
+# HELP logpopt_queue_depth_shard_3_max High-water mark of gauge "queue depth/shard#3".
+# TYPE logpopt_queue_depth_shard_3_max gauge
+logpopt_queue_depth_shard_3_max 5
+`
+	if b.String() != golden {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}

@@ -1,0 +1,291 @@
+// Package report defines logpopt's versioned machine-readable run report:
+// one JSON document per run capturing what ran (tool, operation, machine,
+// constructor), what it achieved (finish time against the closed-form lower
+// bound, the causal breakdown of the critical path), how the ports behaved
+// (schedule.Stats with per-processor busy/idle quantiles), and the
+// time-resolved series summaries from an attached collector.
+//
+// Reports are the artifact layer between a run and everything downstream:
+// CI uploads them next to trace dumps, the telemetry server lists them
+// under /runs/, and regression tooling diffs them across commits. The
+// format is strict by design — Validate rejects unknown fields, version
+// drift, and internally inconsistent documents (gap != finish - bound,
+// breakdown components that do not sum to the finish) — so a report that
+// round-trips Validate is trustworthy without re-running anything.
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/obs/causal"
+	"logpopt/internal/obs/timeseries"
+	"logpopt/internal/schedule"
+)
+
+// Version is the current report schema version. Validate accepts only this
+// version; bump it when a field changes meaning, not when fields are added
+// (additions are caught by DisallowUnknownFields on old readers anyway).
+const Version = 1
+
+// Machine is the LogP parameter block.
+type Machine struct {
+	P int   `json:"p"`
+	L int64 `json:"l"`
+	O int64 `json:"o"`
+	G int64 `json:"g"`
+}
+
+// Breakdown mirrors causal.Breakdown in plain int64 cycles.
+type Breakdown struct {
+	Latency  int64 `json:"latency"`
+	Overhead int64 `json:"overhead"`
+	Gap      int64 `json:"gap"`
+	Compute  int64 `json:"compute"`
+	Origin   int64 `json:"origin"`
+	Wait     int64 `json:"wait"`
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() int64 {
+	return b.Latency + b.Overhead + b.Gap + b.Compute + b.Origin + b.Wait
+}
+
+func fromCausal(b causal.Breakdown) Breakdown {
+	return Breakdown{
+		Latency:  int64(b.Latency),
+		Overhead: int64(b.Overhead),
+		Gap:      int64(b.Gap),
+		Compute:  int64(b.Compute),
+		Origin:   int64(b.Origin),
+		Wait:     int64(b.Wait),
+	}
+}
+
+// Quantiles summarizes one per-processor distribution.
+type Quantiles struct {
+	Min int64 `json:"min"`
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	Max int64 `json:"max"`
+}
+
+// quantiles computes Quantiles over vals (nearest-rank on the sorted copy).
+func quantiles(vals []int64) Quantiles {
+	if len(vals) == 0 {
+		return Quantiles{}
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(q float64) int64 {
+		i := int(q*float64(len(s)-1) + 0.5)
+		return s[i]
+	}
+	return Quantiles{Min: s[0], P50: rank(0.5), P90: rank(0.9), Max: s[len(s)-1]}
+}
+
+// Stats is the port-activity summary: the aggregate schedule.Stats fields
+// plus per-processor busy/idle quantiles (the PerProc slice itself would be
+// P entries — unusable in an artifact at P = 10^6).
+type Stats struct {
+	Sends          int       `json:"sends"`
+	Recvs          int       `json:"recvs"`
+	BusyCycles     int64     `json:"busy_cycles"`
+	PortUtilFinish float64   `json:"port_util_finish"`
+	MaxQueue       int       `json:"max_queue"`
+	ProcBusy       Quantiles `json:"proc_busy"`
+	ProcIdle       Quantiles `json:"proc_idle"`
+}
+
+// FromStats condenses a schedule.Stats into the report form.
+func FromStats(st schedule.Stats) *Stats {
+	busy := make([]int64, len(st.PerProc))
+	idle := make([]int64, len(st.PerProc))
+	for i, pp := range st.PerProc {
+		busy[i] = pp.BusyCycles
+		idle[i] = pp.IdleCycles
+	}
+	return &Stats{
+		Sends:          st.Sends,
+		Recvs:          st.Recvs,
+		BusyCycles:     st.BusyCycles,
+		PortUtilFinish: st.PortUtilFinish,
+		MaxQueue:       st.MaxQueue,
+		ProcBusy:       quantiles(busy),
+		ProcIdle:       quantiles(idle),
+	}
+}
+
+// Report is one run's artifact. Finish and Bound are LogP cycles; Bound is
+// -1 when no closed form is known for the operation, and Gap is only
+// meaningful when Bound >= 0.
+type Report struct {
+	Version     int     `json:"version"`
+	Tool        string  `json:"tool"`
+	Op          string  `json:"op,omitempty"`
+	Constructor string  `json:"constructor,omitempty"`
+	Machine     Machine `json:"machine"`
+
+	Finish int64 `json:"finish"`
+	Bound  int64 `json:"bound"`
+	Gap    int64 `json:"gap"`
+
+	Breakdown  *Breakdown                 `json:"breakdown,omitempty"`
+	Stats      *Stats                     `json:"stats,omitempty"`
+	Violations int                        `json:"violations"`
+	Timeseries []timeseries.SeriesSummary `json:"timeseries,omitempty"`
+
+	// Extra carries tool-specific annotations (seed counts, deadline,
+	// item counts) without schema churn; values must be JSON scalars.
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// New starts a report for tool with the machine block filled in and the
+// bound marked unknown.
+func New(tool string, m logp.Machine) *Report {
+	return &Report{
+		Version: Version,
+		Tool:    tool,
+		Machine: Machine{P: m.P, L: int64(m.L), O: int64(m.O), G: int64(m.G)},
+		Bound:   -1,
+	}
+}
+
+// SetOutcome records the finish time against bound (-1: no closed form)
+// and derives the gap.
+func (r *Report) SetOutcome(finish, bound logp.Time) {
+	r.Finish = int64(finish)
+	r.Bound = int64(bound)
+	if bound >= 0 {
+		r.Gap = int64(finish - bound)
+	} else {
+		r.Gap = 0
+	}
+}
+
+// SetCausal attaches the causal report's achieved breakdown.
+func (r *Report) SetCausal(c *causal.Report) {
+	b := fromCausal(c.Achieved)
+	r.Breakdown = &b
+}
+
+// SetTimeseries attaches the collector's series summaries (nil-safe: a nil
+// or empty collector leaves the field absent).
+func (r *Report) SetTimeseries(c *timeseries.Collector) {
+	if s := c.Summary(); len(s) > 0 {
+		r.Timeseries = s
+	}
+}
+
+// Write emits the report as indented JSON followed by a newline.
+func (r *Report) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the report to path (created or truncated).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Read strictly decodes one report from data: unknown fields are rejected,
+// and the document must pass Validate.
+func Read(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadFile reads and validates the report at path.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(data)
+}
+
+// Validate checks the report's internal consistency: schema version, a
+// plausible machine, non-negative finish, gap coherence against the bound,
+// breakdown components summing to the finish, and ordered series
+// aggregates. A report that validates can be consumed without re-running
+// the schedule it describes.
+func (r *Report) Validate() error {
+	switch {
+	case r.Version != Version:
+		return fmt.Errorf("report: version %d, this reader understands %d", r.Version, Version)
+	case r.Tool == "":
+		return fmt.Errorf("report: missing tool")
+	case r.Machine.P < 1:
+		return fmt.Errorf("report: machine P = %d", r.Machine.P)
+	case r.Machine.L < 1 || r.Machine.O < 0 || r.Machine.G < 0:
+		return fmt.Errorf("report: implausible machine L=%d o=%d g=%d", r.Machine.L, r.Machine.O, r.Machine.G)
+	case r.Finish < 0:
+		return fmt.Errorf("report: negative finish %d", r.Finish)
+	case r.Bound < -1:
+		return fmt.Errorf("report: bound %d (want >= -1)", r.Bound)
+	case r.Violations < 0:
+		return fmt.Errorf("report: negative violation count %d", r.Violations)
+	}
+	if r.Bound >= 0 && r.Gap != r.Finish-r.Bound {
+		return fmt.Errorf("report: gap %d != finish %d - bound %d", r.Gap, r.Finish, r.Bound)
+	}
+	if r.Bound < 0 && r.Gap != 0 {
+		return fmt.Errorf("report: gap %d with no bound", r.Gap)
+	}
+	if r.Breakdown != nil && r.Breakdown.Total() != r.Finish {
+		return fmt.Errorf("report: breakdown totals %d, finish %d", r.Breakdown.Total(), r.Finish)
+	}
+	if r.Stats != nil {
+		st := r.Stats
+		if st.Sends < 0 || st.Recvs < 0 || st.BusyCycles < 0 || st.MaxQueue < 0 {
+			return fmt.Errorf("report: negative stats field")
+		}
+		if st.PortUtilFinish < 0 || st.PortUtilFinish > 1 {
+			return fmt.Errorf("report: port utilization %g out of [0,1]", st.PortUtilFinish)
+		}
+		for _, q := range []Quantiles{st.ProcBusy, st.ProcIdle} {
+			if q.Min > q.P50 || q.P50 > q.P90 || q.P90 > q.Max {
+				return fmt.Errorf("report: disordered quantiles %+v", q)
+			}
+		}
+	}
+	for _, s := range r.Timeseries {
+		switch {
+		case s.Name == "":
+			return fmt.Errorf("report: unnamed series")
+		case s.Count < 0 || s.Points < 0:
+			return fmt.Errorf("report: series %s has negative counts", s.Name)
+		case s.Count > 0 && s.Min > s.Max:
+			return fmt.Errorf("report: series %s min %d > max %d", s.Name, s.Min, s.Max)
+		case s.Count > 0 && (s.First < s.Min || s.First > s.Max || s.Last < s.Min || s.Last > s.Max):
+			return fmt.Errorf("report: series %s endpoints outside [min,max]", s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/obs/causal"
+	"logpopt/internal/obs/timeseries"
+	"logpopt/internal/schedule"
+)
+
+// buildReport assembles a fully-populated report from a real broadcast
+// schedule, the way the CLI tools do.
+func buildReport(t *testing.T) *Report {
+	t.Helper()
+	m := logp.MustNew(16, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	crep := causal.Analyze(s, core.Origins(0))
+
+	r := New("logpsched", m)
+	r.Op = "broadcast"
+	r.Constructor = "search"
+	r.SetOutcome(crep.Finish, crep.Finish) // optimal: bound met exactly
+	r.SetCausal(crep)
+	r.Stats = FromStats(schedule.ComputeStats(s, crep.Finish, nil))
+
+	ts := timeseries.New(0)
+	ts.Probe("events", func() int64 { return 7 })
+	ts.Sample(1)
+	ts.Sample(2)
+	r.SetTimeseries(ts)
+	return r
+}
+
+// TestRoundTrip: Write then Read returns an equivalent, valid document.
+func TestRoundTrip(t *testing.T) {
+	r := buildReport(t)
+	var b bytes.Buffer
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(b.Bytes())
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, b.String())
+	}
+	if got.Finish != r.Finish || got.Gap != 0 || got.Breakdown == nil || got.Stats == nil {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.Timeseries) != 1 || got.Timeseries[0].Name != "events" || got.Timeseries[0].Count != 2 {
+		t.Fatalf("timeseries summary mangled: %+v", got.Timeseries)
+	}
+	if got.Breakdown.Total() != got.Finish {
+		t.Fatalf("breakdown total %d != finish %d", got.Breakdown.Total(), got.Finish)
+	}
+}
+
+// TestValidateRejects drives Validate and the strict decoder through the
+// corruption cases the checker must catch.
+func TestValidateRejects(t *testing.T) {
+	base := func() []byte {
+		var b bytes.Buffer
+		if err := buildReport(t).Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		raw     string // when set, decode this instead
+		wantErr string
+	}{
+		{name: "version drift", mutate: func(r *Report) { r.Version = 2 }, wantErr: "version"},
+		{name: "missing tool", mutate: func(r *Report) { r.Tool = "" }, wantErr: "tool"},
+		{name: "bad machine", mutate: func(r *Report) { r.Machine.P = 0 }, wantErr: "machine P"},
+		{name: "gap mismatch", mutate: func(r *Report) { r.Gap++ }, wantErr: "gap"},
+		{name: "gap without bound", mutate: func(r *Report) { r.Bound = -1; r.Gap = 3 }, wantErr: "no bound"},
+		{name: "breakdown mismatch", mutate: func(r *Report) { r.Breakdown.Wait++ }, wantErr: "breakdown"},
+		{name: "util out of range", mutate: func(r *Report) { r.Stats.PortUtilFinish = 1.5 }, wantErr: "utilization"},
+		{name: "disordered quantiles", mutate: func(r *Report) { r.Stats.ProcBusy.Min = r.Stats.ProcBusy.Max + 1 }, wantErr: "quantiles"},
+		{name: "series min>max", mutate: func(r *Report) { r.Timeseries[0].Min = r.Timeseries[0].Max + 1 }, wantErr: "min"},
+		{name: "unknown field", raw: strings.Replace(string(base()), `"version"`, `"surprise": 1, "version"`, 1), wantErr: "surprise"},
+		{name: "not json", raw: "finish: 12\n", wantErr: "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := []byte(tc.raw)
+			if tc.mutate != nil {
+				r, err := Read(base())
+				if err != nil {
+					t.Fatal(err)
+				}
+				tc.mutate(r)
+				var b bytes.Buffer
+				if err := r.Write(&b); err != nil {
+					t.Fatal(err)
+				}
+				data = b.Bytes()
+			}
+			_, err := Read(data)
+			if err == nil {
+				t.Fatalf("corrupt report validated:\n%s", data)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestQuantiles pins the nearest-rank behavior.
+func TestQuantiles(t *testing.T) {
+	q := quantiles([]int64{5, 1, 9, 3, 7})
+	if q.Min != 1 || q.Max != 9 || q.P50 != 5 {
+		t.Fatalf("quantiles of 1..9: %+v", q)
+	}
+	if z := (quantiles(nil)); z != (Quantiles{}) {
+		t.Fatalf("empty quantiles: %+v", z)
+	}
+	one := quantiles([]int64{4})
+	if one.Min != 4 || one.P50 != 4 || one.P90 != 4 || one.Max != 4 {
+		t.Fatalf("single-value quantiles: %+v", one)
+	}
+}

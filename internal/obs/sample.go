@@ -1,0 +1,143 @@
+package obs
+
+// Trace sampling. A full simulator trace records a handful of events per
+// processor, which is perfect at P = 10^3 and ruinous at P = 10^6 (tens of
+// millions of JSON records). A Sampler is a per-pid keep/drop policy applied
+// as events are recorded, before encoding, so a sampled streaming trace
+// never materialises the dropped events at all.
+//
+// The policy is deterministic: thread selection hashes the tid with a fixed
+// seed (splitmix64), so the same configuration always keeps the same
+// processors and two runs of the same schedule produce byte-identical
+// sampled traces. At Every <= 1 and CounterEvery <= 1 the sampler keeps
+// everything — the output is byte-identical to running with no sampler,
+// because filtering only ever drops records and never reorders or rewrites
+// them.
+
+// Sampler selects which trace events on one pid survive recording.
+// The zero value keeps everything.
+type Sampler struct {
+	// Every keeps spans, instants and thread_name metas for roughly one in
+	// Every threads: a tid survives when Keep[tid] is set or when
+	// splitmix64(Seed ^ tid) mod Every == 0. Values <= 1 keep every thread.
+	Every uint64
+	// Seed perturbs the thread hash so repeated studies can sample
+	// different processor subsets while each stays deterministic.
+	Seed uint64
+	// Keep lists tids that always survive regardless of Every — rank 0,
+	// the critical-path processors, the engine track.
+	Keep map[int]bool
+	// CounterEvery keeps one in CounterEvery counter events per counter
+	// name (counters are per-pid graphs, not per-thread, so Every does not
+	// apply to them). Values <= 1 keep every counter sample.
+	CounterEvery uint64
+}
+
+// samplerState is a Sampler bound to a tracer: the policy plus the per-name
+// modulo positions for counter thinning. Guarded by the tracer's mu.
+type samplerState struct {
+	pol    Sampler
+	counts map[string]uint64
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed 64-bit hash
+// used to pick the sampled thread subset. Fixed constants, no global state,
+// identical across runs and platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (st *samplerState) keepTid(tid int) bool {
+	if st.pol.Keep[tid] {
+		return true
+	}
+	if st.pol.Every <= 1 {
+		return true
+	}
+	return splitmix64(st.pol.Seed^uint64(int64(tid)))%st.pol.Every == 0
+}
+
+// keep decides one event's fate. Caller holds the tracer's mu.
+func (st *samplerState) keep(e *event) bool {
+	switch e.ph {
+	case phMeta:
+		// process_name labels the whole pid and is always kept; thread_name
+		// follows its thread so dropped tracks don't clutter the viewer.
+		if e.name == "process_name" {
+			return true
+		}
+		return st.keepTid(e.tid)
+	case phCounter:
+		if st.pol.CounterEvery <= 1 {
+			return true
+		}
+		n := st.counts[e.name]
+		st.counts[e.name] = n + 1
+		return n%st.pol.CounterEvery == 0
+	default:
+		return st.keepTid(e.tid)
+	}
+}
+
+// SetSampler attaches a sampling policy to pid, replacing any previous one;
+// a nil Sampler detaches. Events on pids without a sampler are always kept.
+// Attach samplers before recording: the policy applies only to events
+// recorded after the call.
+func (t *Tracer) SetSampler(pid int, s *Sampler) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s == nil {
+		delete(t.samplers, pid)
+		return
+	}
+	if t.samplers == nil {
+		t.samplers = make(map[int]*samplerState)
+	}
+	t.samplers[pid] = &samplerState{pol: *s, counts: make(map[string]uint64)}
+}
+
+// Sampled reports whether span/instant events on (pid, tid) are currently
+// kept. Instrumented code can consult it to skip argument construction for
+// threads the sampler would drop; skipping is optional — recording anyway
+// yields the same trace. True on a nil tracer's behalf would be meaningless,
+// so nil returns false.
+func (t *Tracer) Sampled(pid, tid int) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.samplers[pid]
+	if !ok {
+		return true
+	}
+	return st.keepTid(tid)
+}
+
+// Dropped returns the number of events discarded by sampling so far.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// NewSampler builds the standard trace-bounding policy: keep rank 0, keep
+// every tid in keep (critical-path processors, the engine track), keep a
+// deterministic 1-in-every sample of the remaining threads, and thin each
+// counter graph to one in every samples. every <= 1 keeps everything.
+func NewSampler(every, seed uint64, keep ...int) *Sampler {
+	k := map[int]bool{0: true}
+	for _, tid := range keep {
+		k[tid] = true
+	}
+	return &Sampler{Every: every, Seed: seed, Keep: k, CounterEvery: every}
+}

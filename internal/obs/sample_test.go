@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// emitWorkload records a representative mix of events on pid for tids
+// 0..n-1: metas, one span and one instant per tid, and a counter stream.
+func emitWorkload(t *Tracer, pid, n int) {
+	t.NameProcess(pid, "workload")
+	for tid := 0; tid < n; tid++ {
+		t.NameThread(pid, tid, "thr")
+	}
+	for tid := 0; tid < n; tid++ {
+		t.Span(pid, tid, "work", int64(tid), 3, A("i", tid))
+		t.Instant(pid, tid, "mark", int64(tid)+1)
+		t.Counter(pid, "load", int64(tid), int64(tid%7))
+	}
+}
+
+func traceBytes(t *testing.T, tr *Tracer) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestSamplerRateOneIdentical: at Every <= 1 the sampled trace must be
+// byte-identical to an unsampled one — filtering only drops, and rate 1
+// drops nothing.
+func TestSamplerRateOneIdentical(t *testing.T) {
+	plain := NewTracer()
+	sampled := NewTracer()
+	sampled.SetSampler(1, NewSampler(1, 42))
+	emitWorkload(plain, 1, 64)
+	emitWorkload(sampled, 1, 64)
+	if got, want := traceBytes(t, sampled), traceBytes(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("rate-1 sampling changed the trace:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	if d := sampled.Dropped(); d != 0 {
+		t.Fatalf("rate-1 sampler dropped %d events", d)
+	}
+}
+
+// TestSamplerBoundsAndKeepSet: with a large Every the event count collapses
+// while every tid in the keep set retains its full span set.
+func TestSamplerBoundsAndKeepSet(t *testing.T) {
+	const n = 4096
+	plain := NewTracer()
+	emitWorkload(plain, 1, n)
+
+	sampled := NewTracer()
+	sampled.SetSampler(1, NewSampler(64, 42, 17))
+	emitWorkload(sampled, 1, n)
+
+	if sampled.Len() >= plain.Len()/8 {
+		t.Fatalf("sampling barely reduced events: %d of %d", sampled.Len(), plain.Len())
+	}
+	if sampled.Len()+int(sampled.Dropped()) != plain.Len() {
+		t.Fatalf("kept %d + dropped %d != total %d", sampled.Len(), sampled.Dropped(), plain.Len())
+	}
+	for _, tid := range []int{0, 17} {
+		if !sampled.Sampled(1, tid) {
+			t.Errorf("keep-set tid %d reported unsampled", tid)
+		}
+	}
+	// Rank 0's events must survive verbatim.
+	for _, frag := range []string{`"name":"work","ph":"X","ts":0`, `"name":"mark","ph":"i","ts":1`} {
+		if !bytes.Contains(traceBytes(t, sampled), []byte(frag)) {
+			t.Errorf("sampled trace lost a rank-0 event: %s", frag)
+		}
+	}
+}
+
+// TestSamplerDeterministic: the same policy over the same events yields
+// byte-identical output on every run.
+func TestSamplerDeterministic(t *testing.T) {
+	mk := func() []byte {
+		tr := NewTracer()
+		tr.SetSampler(1, NewSampler(16, 7))
+		emitWorkload(tr, 1, 1024)
+		return traceBytes(t, tr)
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same sampler config produced different traces")
+	}
+	// A different seed keeps a different subset (overwhelmingly likely at
+	// this size); equality here would mean the seed is ignored.
+	tr := NewTracer()
+	tr.SetSampler(1, NewSampler(16, 8))
+	emitWorkload(tr, 1, 1024)
+	if bytes.Equal(a, traceBytes(t, tr)) {
+		t.Fatal("seed change did not change the sampled subset")
+	}
+}
+
+// TestSamplerCounterThinning: counters are thinned per name by modulo
+// position, keeping the first of each stride.
+func TestSamplerCounterThinning(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampler(1, &Sampler{CounterEvery: 4})
+	for i := 0; i < 16; i++ {
+		tr.Counter(1, "load", int64(i), int64(i))
+		tr.Counter(1, "depth", int64(i), int64(i))
+	}
+	if got := tr.Len(); got != 8 { // 4 of 16 per name
+		t.Fatalf("counter thinning kept %d events, want 8", got)
+	}
+	out := traceBytes(t, tr)
+	for _, ts := range []string{`"ts":0`, `"ts":4`, `"ts":8`, `"ts":12`} {
+		if !bytes.Contains(out, []byte(ts)) {
+			t.Errorf("missing kept counter sample at %s", ts)
+		}
+	}
+	if bytes.Contains(out, []byte(`"ts":1,`)) {
+		t.Error("counter sample at ts=1 should have been thinned")
+	}
+}
+
+// TestSamplerMetaAndScope: process_name is always kept, thread_name follows
+// its thread, and pids without a sampler are untouched.
+func TestSamplerMetaAndScope(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampler(1, &Sampler{Every: 1 << 62, Keep: map[int]bool{3: true}})
+	tr.NameProcess(1, "sampled-pid")
+	tr.NameThread(1, 2, "dropped-thread")
+	tr.NameThread(1, 3, "kept-thread")
+	tr.Span(1, 2, "dropped", 0, 1)
+	tr.Span(1, 3, "kept", 0, 1)
+	emitWorkload(tr, 9, 4) // no sampler on pid 9
+	out := traceBytes(t, tr)
+	for _, want := range []string{"sampled-pid", "kept-thread", `"name":"kept"`} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	for _, drop := range []string{"dropped-thread", `"name":"dropped"`} {
+		if bytes.Contains(out, []byte(drop)) {
+			t.Errorf("should have dropped %q", drop)
+		}
+	}
+	if tr.Sampled(1, 2) || !tr.Sampled(1, 3) || !tr.Sampled(9, 2) {
+		t.Error("Sampled disagrees with filtering")
+	}
+	var nilTr *Tracer
+	if nilTr.Sampled(1, 0) || nilTr.Dropped() != 0 {
+		t.Error("nil tracer sampling queries should be inert")
+	}
+	nilTr.SetSampler(1, NewSampler(2, 1)) // must not panic
+}

@@ -1,31 +1,45 @@
 // Package serve exposes the process's observability surface over HTTP: the
 // metrics registry in Prometheus text format at /metrics, the Go runtime
-// profiles at /debug/pprof/, and completed Chrome-trace JSON documents at
-// /traces/. The CLIs mount it behind a -serve :addr flag so a long bench or
-// conformance sweep can be inspected while it runs.
+// profiles at /debug/pprof/, completed Chrome-trace JSON documents at
+// /traces/, the time-resolved series of an attached collector at
+// /timeseries, validated run reports at /runs/, and a zero-dependency live
+// dashboard at /dashboard. The CLIs mount it behind a -serve :addr flag so
+// a long bench or conformance sweep can be inspected while it runs.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"logpopt/internal/obs"
+	"logpopt/internal/obs/report"
+	"logpopt/internal/obs/timeseries"
 )
 
-// Server is an HTTP front end over a metrics registry and a set of named
-// trace documents. The zero value is not usable; call New.
+// closeGrace is how long Close waits for in-flight requests to finish
+// before hard-closing their connections.
+const closeGrace = 2 * time.Second
+
+// Server is an HTTP front end over a metrics registry, a set of named trace
+// documents, run reports, and an optional time-series collector. The zero
+// value is not usable; call New.
 type Server struct {
 	reg *obs.Registry
 
-	mu     sync.Mutex
-	traces map[string]func() ([]byte, error)
-	ln     net.Listener
-	srv    *http.Server
+	mu      sync.Mutex
+	traces  map[string]func() ([]byte, error)
+	runs    map[string][]byte
+	ts      *timeseries.Collector
+	closers []func()
+	ln      net.Listener
+	srv     *http.Server
 }
 
 // New returns a server exposing reg. A nil reg serves the process-wide
@@ -34,20 +48,54 @@ func New(reg *obs.Registry) *Server {
 	if reg == nil {
 		reg = obs.Default
 	}
-	return &Server{reg: reg, traces: map[string]func() ([]byte, error){}}
+	return &Server{
+		reg:    reg,
+		traces: map[string]func() ([]byte, error){},
+		runs:   map[string][]byte{},
+	}
+}
+
+// checkName vets a registry key before it becomes a URL path segment.
+// Names arrive from flags and case generators, so hostile or merely
+// accident-prone values (separators, dot-dot, control bytes) are rejected
+// at registration instead of being served as confusing or spoofable paths.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty name")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("serve: name longer than 128 bytes")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '/' || c == '\\' || c < 0x20 || c == 0x7f {
+			return fmt.Errorf("serve: name %q contains a path separator or control character", name)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("serve: name %q is a relative path", name)
+	}
+	return nil
 }
 
 // AddTrace registers a completed trace document under /traces/<name>. The
 // bytes are served verbatim with a JSON content type.
-func (s *Server) AddTrace(name string, data []byte) {
+func (s *Server) AddTrace(name string, data []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.traces[name] = func() ([]byte, error) { return data, nil }
 	s.mu.Unlock()
+	return nil
 }
 
 // AddTracer registers a live tracer under /traces/<name>; each request
 // renders the events recorded so far, so a trace can be pulled mid-run.
-func (s *Server) AddTracer(name string, t *obs.Tracer) {
+func (s *Server) AddTracer(name string, t *obs.Tracer) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.traces[name] = func() ([]byte, error) {
 		var b bytes.Buffer
@@ -57,6 +105,46 @@ func (s *Server) AddTracer(name string, t *obs.Tracer) {
 		return b.Bytes(), nil
 	}
 	s.mu.Unlock()
+	return nil
+}
+
+// AddReport validates r and registers it under /runs/<name>. Invalid
+// reports are rejected — the server only ever lists artifacts a consumer
+// can trust.
+func (s *Server) AddReport(name string, r *report.Report) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	var b bytes.Buffer
+	if err := r.Write(&b); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.runs[name] = b.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// SetTimeseries attaches the collector served at /timeseries and plotted by
+// /dashboard. Pass nil to detach.
+func (s *Server) SetTimeseries(c *timeseries.Collector) {
+	s.mu.Lock()
+	s.ts = c
+	s.mu.Unlock()
+}
+
+// OnClose registers fn to run when the server shuts down (before the
+// listener closes), e.g. to stop a wall-clock sampling goroutine.
+func (s *Server) OnClose(fn func()) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.closers = append(s.closers, fn)
+	s.mu.Unlock()
 }
 
 // Handler returns the routing table. It is also what Start serves.
@@ -65,6 +153,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.index)
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/traces/", s.trace)
+	mux.HandleFunc("/timeseries", s.timeseries)
+	mux.HandleFunc("/runs/", s.run)
+	mux.HandleFunc("/dashboard", s.dashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -88,16 +179,28 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener started by Start. Safe to call without Start.
+// Close stops the listener started by Start, letting in-flight requests
+// finish for up to closeGrace before hard-closing their connections. Safe
+// to call without Start, and idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.srv
-	s.srv, s.ln = nil, nil
+	closers := s.closers
+	s.srv, s.ln, s.closers = nil, nil, nil
 	s.mu.Unlock()
+	for _, fn := range closers {
+		fn()
+	}
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// A handler outlived the grace period; sever its connection.
+		return srv.Close()
+	}
+	return nil
 }
 
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +213,9 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "/metrics       metrics registry, Prometheus text format\n")
 	fmt.Fprintf(w, "/debug/pprof/  Go runtime profiles\n")
 	fmt.Fprintf(w, "/traces/       completed trace documents (Chrome trace JSON)\n")
+	fmt.Fprintf(w, "/timeseries    time-resolved series of the attached collector (JSON)\n")
+	fmt.Fprintf(w, "/runs/         validated run reports (JSON artifacts)\n")
+	fmt.Fprintf(w, "/dashboard     live sparkline dashboard over /timeseries\n")
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
@@ -148,3 +254,126 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data) //nolint:errcheck // client disconnects only
 }
+
+func (s *Server) timeseries(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	c := s.ts
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if c == nil {
+		fmt.Fprint(w, `{"series":[]}`+"\n")
+		return
+	}
+	c.WriteJSON(w) //nolint:errcheck // client disconnects only
+}
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Path[len("/runs/"):]
+	if name == "" {
+		s.mu.Lock()
+		names := make([]string, 0, len(s.runs))
+		for n := range s.runs {
+			names = append(names, n)
+		}
+		s.mu.Unlock()
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, n := range names {
+			fmt.Fprintf(w, "/runs/%s\n", n)
+		}
+		return
+	}
+	s.mu.Lock()
+	data := s.runs[name]
+	s.mu.Unlock()
+	if data == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // client disconnects only
+}
+
+func (s *Server) dashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML) //nolint:errcheck // client disconnects only
+}
+
+// dashboardHTML is the whole dashboard: no frameworks, no external assets,
+// one page that polls /timeseries once a second and redraws an SVG
+// sparkline per series. Kept dependency-free on purpose — it must work
+// from a curl'd file on an air-gapped box.
+const dashboardHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>logpopt dashboard</title>
+<style>
+body { font: 13px/1.4 monospace; background: #111; color: #ddd; margin: 1.5em; }
+h1 { font-size: 15px; }
+.row { display: flex; align-items: center; gap: 1em; border-bottom: 1px solid #333; padding: 3px 0; }
+.name { width: 22em; overflow: hidden; text-overflow: ellipsis; }
+.val { width: 10em; text-align: right; color: #8fd; }
+.range { width: 16em; color: #777; }
+svg { background: #1a1a1a; }
+polyline { fill: none; stroke: #4cf; stroke-width: 1.25; }
+#status { color: #777; margin-top: 1em; }
+</style>
+</head>
+<body>
+<h1>logpopt live time series</h1>
+<div id="charts"></div>
+<div id="status">connecting&hellip;</div>
+<script>
+"use strict";
+function spark(points, w, h) {
+  if (points.length < 2) return "";
+  let lo = Infinity, hi = -Infinity;
+  for (const [, v] of points) { if (v < lo) lo = v; if (v > hi) hi = v; }
+  const span = (hi - lo) || 1;
+  const t0 = points[0][0], t1 = points[points.length - 1][0];
+  const tspan = (t1 - t0) || 1;
+  return points.map(([t, v]) =>
+    ((t - t0) / tspan * (w - 2) + 1).toFixed(1) + "," +
+    ((1 - (v - lo) / span) * (h - 2) + 1).toFixed(1)).join(" ");
+}
+async function tick() {
+  const status = document.getElementById("status");
+  try {
+    const res = await fetch("/timeseries");
+    const doc = await res.json();
+    const charts = document.getElementById("charts");
+    charts.textContent = "";
+    for (const s of doc.series) {
+      const pts = s.points;
+      const last = pts.length ? pts[pts.length - 1][1] : 0;
+      let lo = Infinity, hi = -Infinity;
+      for (const [, v] of pts) { if (v < lo) lo = v; if (v > hi) hi = v; }
+      const row = document.createElement("div");
+      row.className = "row";
+      const name = document.createElement("span");
+      name.className = "name"; name.textContent = s.name;
+      const val = document.createElement("span");
+      val.className = "val"; val.textContent = last;
+      const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+      svg.setAttribute("width", 360); svg.setAttribute("height", 36);
+      const line = document.createElementNS("http://www.w3.org/2000/svg", "polyline");
+      line.setAttribute("points", spark(pts, 360, 36));
+      svg.appendChild(line);
+      const range = document.createElement("span");
+      range.className = "range";
+      range.textContent = pts.length ? "[" + lo + ", " + hi + "] n=" + pts.length : "no samples";
+      row.append(name, val, svg, range);
+      charts.appendChild(row);
+    }
+    status.textContent = doc.series.length + " series, updated " + new Date().toLocaleTimeString();
+  } catch (err) {
+    status.textContent = "fetch failed: " + err;
+  }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

@@ -53,6 +53,15 @@ func SetTracer(tr *obs.Tracer, pid int) {
 	traceCfg.Store(&traceConfig{tr: tr, pid: pid})
 }
 
+// active counts pool worker goroutines currently running, for the
+// time-resolved occupancy probe. The single-worker inline path (which runs
+// on the caller's goroutine with zero pool overhead) is deliberately not
+// counted, so attaching a collector never perturbs the fast path.
+var active atomic.Int64
+
+// Active returns the number of pool workers running right now.
+func Active() int64 { return active.Load() }
+
 // limit is the process-wide default parallelism for pools started without an
 // explicit width. It defaults to GOMAXPROCS and is settable (cmd/logpbench
 // exposes it as -parallel).
@@ -99,6 +108,8 @@ func ForEach(n int, fn func(i int)) {
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
+			active.Add(1)
+			defer active.Add(-1)
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1

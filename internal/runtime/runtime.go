@@ -41,6 +41,7 @@ import (
 
 	"logpopt/internal/logp"
 	"logpopt/internal/obs"
+	"logpopt/internal/obs/timeseries"
 	"logpopt/internal/schedule"
 )
 
@@ -153,6 +154,16 @@ type Runtime struct {
 	Tracer   *obs.Tracer
 	TracePID int
 
+	// TS, when non-nil, receives a virtual-time series of the run: the
+	// runtime registers probes for its clock, in-flight and queued message
+	// counts, and the worker pool's phase-B occupancy (total dirty
+	// processors, plus a per-chunk-shard series when the partition is small
+	// enough to chart), sampled once per collector window at the end of each
+	// step. Probes read coordinator-owned state and sampling happens in the
+	// coordinator's section of Step, so no synchronization is needed. Set
+	// before the first Step, like Tracer.
+	TS *timeseries.Collector
+
 	m          logp.Machine
 	mode       Mode
 	procs      []Proc // contiguous slab; Proc(i) hands out &procs[i]
@@ -166,6 +177,9 @@ type Runtime struct {
 	// workers is the pool size (min(GOMAXPROCS, len(chunks)) at creation).
 	chunks  []chunk
 	workers int
+	// Last step's phase-B occupancy, read by the TS probes: how many
+	// processors produced work and how many chunk shards were touched.
+	dirtyProcs, busyChunks int
 	// In-network interval end times per processor for the capacity bound,
 	// mirroring the simulator's bookkeeping (see sim.checkCapacity).
 	outEnds [][]logp.Time
@@ -255,6 +269,9 @@ func (rt *Runtime) tracePID() int {
 // processor order (phase C).
 func (rt *Runtime) Step() {
 	now := rt.now
+	if rt.TS != nil && now == 0 {
+		rt.registerProbes()
+	}
 	if rt.Tracer != nil && now == 0 {
 		pid := rt.tracePID()
 		mode := "strict"
@@ -286,9 +303,14 @@ func (rt *Runtime) Step() {
 	// Phase C: collect from dirty processors in processor order
 	// (determinism); idle processors cost nothing here.
 	var nSends, nRecvs int64
+	rt.dirtyProcs, rt.busyChunks = 0, 0
 	for ci := range rt.chunks {
 		c := &rt.chunks[ci]
 		rt.queued -= c.dequeued
+		if len(c.dirty) > 0 {
+			rt.busyChunks++
+			rt.dirtyProcs += len(c.dirty)
+		}
 		for _, id := range c.dirty {
 			p := &rt.procs[id]
 			for i := range p.inboxThisStep {
@@ -327,7 +349,32 @@ func (rt *Runtime) Step() {
 		rt.Tracer.Counter(pid, "inflight", int64(now), int64(len(rt.inflight)))
 		rt.Tracer.Counter(pid, "pending", int64(now), pending)
 	}
+	if rt.TS != nil {
+		rt.TS.MaybeSample(int64(now))
+	}
 	rt.now++
+}
+
+// maxChunkSeries bounds how many per-chunk occupancy series the runtime
+// registers: small partitions get one series per shard, huge ones only the
+// aggregates, so a million-processor run never floods the collector.
+const maxChunkSeries = 64
+
+// registerProbes points the attached collector's runtime series at this
+// runtime's coordinator-owned state.
+func (rt *Runtime) registerProbes() {
+	rt.TS.Probe("runtime.now", func() int64 { return int64(rt.now) })
+	rt.TS.Probe("runtime.inflight", func() int64 { return int64(len(rt.inflight)) })
+	rt.TS.Probe("runtime.queued", func() int64 { return int64(rt.queued) })
+	rt.TS.Probe("runtime.procs.dirty", func() int64 { return int64(rt.dirtyProcs) })
+	rt.TS.Probe("runtime.chunks.busy", func() int64 { return int64(rt.busyChunks) })
+	if len(rt.chunks) <= maxChunkSeries {
+		for i := range rt.chunks {
+			c := &rt.chunks[i]
+			rt.TS.Probe(fmt.Sprintf("runtime.chunk%02d.dirty", i),
+				func() int64 { return int64(len(c.dirty)) })
+		}
+	}
 }
 
 // runChunks executes phase B: workers claim chunks off a shared counter and

@@ -7,6 +7,7 @@ import (
 	"logpopt/internal/core"
 	"logpopt/internal/kitem"
 	"logpopt/internal/logp"
+	"logpopt/internal/obs/timeseries"
 	"logpopt/internal/schedule"
 )
 
@@ -101,6 +102,47 @@ func BenchmarkSimReplayReuse(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		e.Reset(m, Strict)
+		rep := e.Replay(s, og)
+		if len(rep.Violations) != 0 {
+			b.Fatal(rep.Violations)
+		}
+	}
+}
+
+// BenchmarkSimReplayTimeseriesOff is the disabled-collector overhead gate:
+// the engine with TS == nil must run within noise of an uninstrumented
+// replay (the budget is < 2% — the hot loop pays one nil check per cycle).
+// Compare against BenchmarkSimReplayReuse in BENCH_3.json.
+func BenchmarkSimReplayTimeseriesOff(b *testing.B) {
+	m := logp.MustNew(256, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	og := core.Origins(0)
+	e := New(m, Strict)
+	e.TS = nil
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(m, Strict)
+		rep := e.Replay(s, og)
+		if len(rep.Violations) != 0 {
+			b.Fatal(rep.Violations)
+		}
+	}
+}
+
+// BenchmarkSimReplayTimeseriesOn measures the collector's enabled cost with
+// per-cycle sampling — the worst case; windowed sampling is strictly
+// cheaper.
+func BenchmarkSimReplayTimeseriesOn(b *testing.B) {
+	m := logp.MustNew(256, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	og := core.Origins(0)
+	e := New(m, Strict)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TS = timeseries.New(64)
 		e.Reset(m, Strict)
 		rep := e.Replay(s, og)
 		if len(rep.Violations) != 0 {

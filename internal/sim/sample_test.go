@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/obs"
+)
+
+// replayTrace replays the P-processor broadcast with smp attached (nil: no
+// sampling) and returns the tracer plus its serialized JSON.
+func replayTrace(t *testing.T, p int, smp *obs.Sampler) (*obs.Tracer, []byte) {
+	t.Helper()
+	m := logp.MustNew(p, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+	tr := obs.NewTracer()
+	if smp != nil {
+		tr.SetSampler(DefaultTracePID, smp)
+	}
+	e := New(m, Strict)
+	e.Tracer = tr
+	e.Replay(s, core.Origins(0))
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return tr, b.Bytes()
+}
+
+// spanSet extracts the (name, tid, ts) triples of complete events on tid
+// from a trace document.
+func spanSet(t *testing.T, doc []byte, tid int) map[string]bool {
+	t.Helper()
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool)
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" && e.Tid == tid {
+			set[e.Name+"@"+string(rune(e.TS))] = true
+		}
+	}
+	return set
+}
+
+// TestReplaySampledRateOneIdentical: a rate-1 sampler through a full
+// simulated replay is byte-identical to no sampler at all.
+func TestReplaySampledRateOneIdentical(t *testing.T) {
+	_, plain := replayTrace(t, 128, nil)
+	_, sampled := replayTrace(t, 128, obs.NewSampler(1, 1))
+	if !bytes.Equal(plain, sampled) {
+		t.Fatalf("rate-1 sampled replay differs from unsampled (%d vs %d bytes)", len(sampled), len(plain))
+	}
+}
+
+// TestReplaySampledBounded: at a large P, an aggressive sampler keeps at
+// most a few percent of the events while preserving rank 0's complete span
+// set, and the same configuration reproduces the identical trace.
+func TestReplaySampledBounded(t *testing.T) {
+	const p = 8192
+	plainTr, plain := replayTrace(t, p, nil)
+	smp := func() *obs.Sampler { return obs.NewSampler(256, 1, p) }
+	sampledTr, sampled := replayTrace(t, p, smp())
+
+	total := plainTr.Len()
+	kept := sampledTr.Len()
+	if kept+int(sampledTr.Dropped()) != total {
+		t.Fatalf("kept %d + dropped %d != total %d", kept, sampledTr.Dropped(), total)
+	}
+	if ratio := float64(kept) / float64(total); ratio > 0.02 {
+		t.Fatalf("sampling kept %.1f%% of %d events, want <= 2%%", 100*ratio, total)
+	}
+	want := spanSet(t, plain, 0)
+	got := spanSet(t, sampled, 0)
+	if len(want) == 0 {
+		t.Fatal("rank 0 emitted no spans in the unsampled trace")
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("sampled trace lost a rank-0 span %q", k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rank-0 span set changed: %d vs %d", len(got), len(want))
+	}
+
+	_, again := replayTrace(t, p, smp())
+	if !bytes.Equal(sampled, again) {
+		t.Fatal("sampled replay is not deterministic")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"logpopt/internal/logp"
 	"logpopt/internal/obs"
+	"logpopt/internal/obs/timeseries"
 	"logpopt/internal/schedule"
 )
 
@@ -41,7 +42,17 @@ var (
 	// — strict-mode receptions and immediate drains stay off the histogram's
 	// mutex, keeping the hot path to plain counter tallies.
 	mRecvWait = obs.Default.Histogram("sim.recv.wait.cycles")
+	// Live in-flight heap size, refreshed on the amortized event flush so a
+	// scraper polling /metrics mid-replay sees the drain progressing.
+	gInflight = obs.Default.Gauge("sim.inflight")
 )
+
+// liveFlushEvery is the amortized flush threshold: every this many drained
+// events, the run-local tallies are pushed into the process-wide counters so
+// live observers (the /metrics and /timeseries endpoints) see a long replay
+// progress instead of one end-of-run step. Power of two; the hot path pays
+// one compare per event.
+const liveFlushEvery = 8192
 
 // Mode selects the reception discipline.
 type Mode int
@@ -153,6 +164,15 @@ type Engine struct {
 	Tracer   *obs.Tracer
 	TracePID int
 
+	// TS, when non-nil, receives a simulated-time series of the run: the
+	// engine registers probes for its clock, in-flight heap size, drained
+	// events, buffered depth, and violation count, and samples them once per
+	// configured window of virtual cycles (Collector.SetWindow; every cycle
+	// when unset). Probes read engine state without synchronization, which is
+	// safe because the engine itself drives the sampling from its tick loop.
+	// Like Tracer, TS survives Reset.
+	TS *timeseries.Collector
+
 	now        logp.Time
 	procs      []procState
 	inflight   flightQueue
@@ -164,8 +184,11 @@ type Engine struct {
 	// Decayed high-water marks feeding the Reset shrink policy (see Reset).
 	hwProcs, hwInflight, hwAvail, hwExecuted, hwSendBuf, hwViol watermark
 
-	// Run-local metric tallies, flushed to obs.Default by Replay.
+	// Run-local metric tallies, flushed to obs.Default by Replay (with an
+	// amortized live flush every liveFlushEvery drained events; flushedEvents
+	// tracks how much of nEvents has already been pushed).
 	nEvents, nCapChecks int64
+	flushedEvents       int64
 	bufferedNow         int // total buffered messages across procs (Buffered)
 }
 
@@ -243,6 +266,7 @@ func (e *Engine) Reset(m logp.Machine, mode Mode) {
 	}
 	e.avail.reset(m.P)
 	e.nEvents, e.nCapChecks, e.bufferedNow = 0, 0, 0
+	e.flushedEvents = 0
 	if cap(e.procs) < m.P || oversized(cap(e.procs), max(m.P, hwProcs), 1024) {
 		e.procs = make([]procState, m.P)
 	} else {
@@ -277,12 +301,17 @@ func shrinkEnds(ends []logp.Time) []logp.Time {
 // Now returns the current simulation time.
 func (e *Engine) Now() logp.Time { return e.now }
 
+// DefaultTracePID is the trace process id an engine uses when TracePID is
+// unset. Exported so callers can address the engine's tracks — e.g. to
+// attach an obs.Sampler — without setting an explicit pid first.
+const DefaultTracePID = 1
+
 // tracePID returns the pid used for this engine's trace tracks.
 func (e *Engine) tracePID() int {
 	if e.TracePID != 0 {
 		return e.TracePID
 	}
-	return 1
+	return DefaultTracePID
 }
 
 // violate records a violation and, when tracing, marks it as an instant on
@@ -415,6 +444,9 @@ func (e *Engine) TickTo(t logp.Time) {
 	for e.now < t {
 		e.now++
 		e.processArrivals()
+		if e.TS != nil {
+			e.TS.MaybeSample(int64(e.now))
+		}
 	}
 }
 
@@ -428,6 +460,11 @@ func (e *Engine) processArrivals() {
 	for e.inflight.len() > 0 && e.inflight.peek().Arrive <= e.now {
 		msg := e.inflight.pop()
 		e.nEvents++
+		if e.nEvents-e.flushedEvents >= liveFlushEvery {
+			mEvents.Add(e.nEvents - e.flushedEvents)
+			e.flushedEvents = e.nEvents
+			gInflight.Set(int64(e.inflight.len()))
+		}
 		ps := &e.procs[msg.To]
 		switch e.Mode {
 		case Strict:
@@ -607,6 +644,9 @@ func Run(s *schedule.Schedule, mode Mode, origins map[int]schedule.Origin) (*Eng
 // item, then destination — so the replay never depends on the input event
 // ordering.
 func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) Report {
+	if e.TS != nil {
+		e.registerProbes()
+	}
 	if e.Tracer != nil {
 		pid := e.tracePID()
 		mode := "strict"
@@ -703,9 +743,12 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 		}
 		e.Tick()
 	}
-	// Flush the run's metric tallies: one atomic add per counter per replay.
+	// Flush the run's metric tallies: one atomic add per counter per replay
+	// (minus what the amortized live flush already pushed).
 	mReplays.Inc()
-	mEvents.Add(e.nEvents)
+	mEvents.Add(e.nEvents - e.flushedEvents)
+	e.flushedEvents = e.nEvents
+	gInflight.Set(int64(e.inflight.len()))
 	mCapChecks.Add(e.nCapChecks)
 	var nSends, nRecvs int64
 	for _, ev := range e.executed.Events {
@@ -728,6 +771,18 @@ func (e *Engine) Replay(s *schedule.Schedule, origins map[int]schedule.Origin) R
 
 func (e *Engine) finishTime() logp.Time {
 	return e.avail.latest()
+}
+
+// registerProbes points the attached collector's sim series at this engine's
+// state. Registration is idempotent (Probe replaces the function, keeping
+// recorded points), so Reset + Replay reuse keeps one continuous series per
+// name across runs.
+func (e *Engine) registerProbes() {
+	e.TS.Probe("sim.now", func() int64 { return int64(e.now) })
+	e.TS.Probe("sim.inflight", func() int64 { return int64(e.inflight.len()) })
+	e.TS.Probe("sim.events", func() int64 { return e.nEvents })
+	e.TS.Probe("sim.buffered", func() int64 { return int64(e.bufferedNow) })
+	e.TS.Probe("sim.violations", func() int64 { return int64(len(e.violations)) })
 }
 
 // Stats is the port-activity summary for one run. It is the shared

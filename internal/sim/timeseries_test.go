@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"logpopt/internal/core"
+	"logpopt/internal/logp"
+	"logpopt/internal/obs/timeseries"
+)
+
+// TestReplayTimeseries attaches a collector to an engine and checks the
+// replay produces coherent simulated-time series: the clock series ends at
+// or after the finish time, the in-flight series drains to zero, and the
+// events series is monotone up to the drained total.
+func TestReplayTimeseries(t *testing.T) {
+	m := logp.MustNew(16, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+
+	ts := timeseries.New(0)
+	e := New(m, Strict)
+	e.TS = ts
+	rep := e.Replay(s, core.Origins(0))
+	// Take one final sample so end-of-run state is always recorded even when
+	// the window would have skipped the last tick.
+	ts.Sample(int64(e.Now()))
+
+	if rep.Finish == 0 {
+		t.Fatalf("degenerate run: finish 0")
+	}
+	for _, name := range []string{"sim.now", "sim.inflight", "sim.events", "sim.buffered", "sim.violations"} {
+		if _, ok := ts.Series(name); !ok {
+			t.Errorf("series %s missing", name)
+		}
+	}
+	now, _ := ts.Series("sim.now")
+	if last := now[len(now)-1].Val; last < int64(rep.Finish)-int64(m.O) {
+		t.Errorf("sim.now ends at %d, finish %d", last, rep.Finish)
+	}
+	inflight, _ := ts.Series("sim.inflight")
+	if last := inflight[len(inflight)-1].Val; last != 0 {
+		t.Errorf("sim.inflight did not drain: %d", last)
+	}
+	events, _ := ts.Series("sim.events")
+	prev := int64(-1)
+	for _, pt := range events {
+		if pt.Val < prev {
+			t.Fatalf("sim.events not monotone: %v", events)
+		}
+		prev = pt.Val
+	}
+	if prev != int64(m.P-1) { // one reception per non-root processor
+		t.Errorf("sim.events final %d, want %d", prev, m.P-1)
+	}
+}
+
+// TestReplayTimeseriesWindow checks the windowed sampling takes far fewer
+// samples than one per cycle while still covering the run.
+func TestReplayTimeseriesWindow(t *testing.T) {
+	m := logp.MustNew(64, 6, 2, 4)
+	s := core.BroadcastSchedule(m, 0)
+
+	dense := timeseries.New(0)
+	e := New(m, Strict)
+	e.TS = dense
+	repDense := e.Replay(s, core.Origins(0))
+
+	sparse := timeseries.New(0)
+	sparse.SetWindow(int64(repDense.Finish) / 4)
+	e2 := New(m, Strict)
+	e2.TS = sparse
+	repSparse := e2.Replay(s, core.Origins(0))
+
+	if repDense.Finish != repSparse.Finish {
+		t.Fatalf("collection changed the run: %d vs %d", repDense.Finish, repSparse.Finish)
+	}
+	if sparse.Samples() >= dense.Samples() {
+		t.Fatalf("window did not reduce samples: %d vs %d", sparse.Samples(), dense.Samples())
+	}
+	if sparse.Samples() == 0 {
+		t.Fatalf("windowed collector took no samples")
+	}
+}
