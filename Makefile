@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke report-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke report-smoke report-diff-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
 
 all: build test
 
@@ -72,6 +72,21 @@ report-smoke:
 	$(GO) run ./cmd/logpsched -op summation -P 8 -L 5 -o 2 -g 4 -t 28 -report report-smoke-sum.json > /dev/null
 	$(GO) run ./cmd/reportcheck report-smoke.json report-smoke-sum.json
 	@rm -f report-smoke.json report-smoke-sum.json
+
+# Smoke-test the run store and differ end to end: archive the same
+# deterministic run twice, assert reportdiff sees byte-identical outcomes
+# (exit 0), then perturb the second artifact's violation count in place and
+# assert the gate trips (non-zero exit). The store directory survives on
+# failure so CI can upload it as an artifact.
+report-diff-smoke:
+	rm -rf report-diff-store
+	$(GO) run ./cmd/logpsched -op broadcast -P 64 -runstore report-diff-store > /dev/null
+	$(GO) run ./cmd/logpsched -op broadcast -P 64 -runstore report-diff-store > /dev/null
+	$(GO) run ./cmd/reportdiff report-diff-store
+	find report-diff-store -name run-000002.json \
+		-exec sed -i 's/"violations": 0/"violations": 7/' {} +
+	! $(GO) run ./cmd/reportdiff report-diff-store
+	@rm -rf report-diff-store
 
 # Short fuzzing pass over the schedule validator and the conformance harness.
 fuzz:

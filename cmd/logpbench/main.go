@@ -76,6 +76,7 @@ func main() {
 			"broadcast-tree constructor for every experiment: auto, search, or logtime (auto: logtime at P >= 512); output is identical for all three")
 		traceOut  = flag.String("trace", "", cliutil.TraceUsage)
 		reportOut = flag.String("report", "", cliutil.ReportUsage+"; the report covers the paper's canonical broadcast (P=8 L=6 o=2 g=4) and annotates how many experiments ran")
+		storeDir  = flag.String("runstore", "", cliutil.RunstoreUsage)
 		metrics   = flag.Bool("metrics", false, cliutil.MetricsUsage)
 		serveOn   = flag.String("serve", "", cliutil.ServeUsage)
 	)
@@ -95,7 +96,7 @@ func main() {
 		tracer.NameProcess(4, "solver portfolio (wall µs)")
 		par.SetTracer(tracer, 4)
 	}
-	srv, err := cliutil.StartServe("logpbench", *serveOn, tracer)
+	srv, err := cliutil.StartServe("logpbench", *serveOn, tracer, *storeDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
 		os.Exit(1)
@@ -121,7 +122,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if *reportOut != "" {
+		if *reportOut != "" || *storeDir != "" {
 			// The bench report is a fixed reference point: the paper's
 			// canonical Figure 1 broadcast, replayed and summarized the
 			// same way on every commit so artifacts diff cleanly, with the
@@ -131,9 +132,17 @@ func main() {
 			r := cliutil.BuildReport("logpbench", "broadcast", s, core.Origins(0),
 				core.OptimalTree(m, m.P).MaxLabel(), nil)
 			r.Extra = map[string]any{"experiments": ran}
-			if err := cliutil.WriteReport("logpbench", r, *reportOut); err != nil {
-				fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
-				os.Exit(1)
+			if *reportOut != "" {
+				if err := cliutil.WriteReport("logpbench", r, *reportOut); err != nil {
+					fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if *storeDir != "" {
+				if err := cliutil.Archive("logpbench", *storeDir, r); err != nil {
+					fmt.Fprintf(os.Stderr, "logpbench: %v\n", err)
+					os.Exit(1)
+				}
 			}
 		}
 		if *metrics {

@@ -53,6 +53,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, cliutil.MetricsUsage)
 	metricsOut := flag.String("metricsout", "", "write the metrics snapshot in Prometheus text format to `file` before exiting (default: off)")
 	reportOut := flag.String("report", "", cliutil.ReportUsage+"; on divergence the report covers the first shrunk failing case, otherwise the canonical paper broadcast, with the sweep's case counts annotated")
+	storeDir := flag.String("runstore", "", cliutil.RunstoreUsage)
 	serveOn := flag.String("serve", "", cliutil.ServeUsage)
 	dumpdir := flag.String("dumpdir", "conform-traces", "directory for per-backend trace dumps of shrunk diverging cases")
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 		tracer = obs.NewTracer()
 		ck.SetTracer(tracer)
 	}
-	srv, err := cliutil.StartServe("logpconform", *serveOn, tracer)
+	srv, err := cliutil.StartServe("logpconform", *serveOn, tracer, *storeDir)
 	if err != nil {
 		fail(err)
 	}
@@ -166,7 +167,7 @@ func main() {
 			fail(err)
 		}
 	}
-	if *reportOut != "" {
+	if *reportOut != "" || *storeDir != "" {
 		// On a clean sweep the report pins the canonical paper broadcast;
 		// on divergence it describes the first shrunk failing case, so the
 		// CI artifact carries the reproduction's machine and violation
@@ -178,8 +179,15 @@ func main() {
 		}
 		r := cliutil.BuildReport("logpconform", op, c.S, c.Origins, -1, nil)
 		r.Extra = map[string]any{"cases_checked": checked, "cases_diverged": diverged}
-		if err := cliutil.WriteReport("logpconform", r, *reportOut); err != nil {
-			fail(err)
+		if *reportOut != "" {
+			if err := cliutil.WriteReport("logpconform", r, *reportOut); err != nil {
+				fail(err)
+			}
+		}
+		if *storeDir != "" {
+			if err := cliutil.Archive("logpconform", *storeDir, r); err != nil {
+				fail(err)
+			}
 		}
 	}
 	if diverged > 0 {

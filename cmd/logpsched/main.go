@@ -9,6 +9,7 @@
 //	logpsched -op kitem -P 10 -L 3 -k 8 -render table
 //	logpsched -op scan -P 9 -L 3 -render svg > scan.svg
 //	logpsched -op kitem -P 10 -L 3 -k 8 -trace out.json -metrics
+//	logpsched -op broadcast -P 64 -runstore runs/   # archive for reportdiff
 //	logpsched -op broadcast -explain
 //	logpsched -op broadcast -P 100000 -constructor logtime > big.json
 //	logpsched -op linear -explain -render svg > chain.svg
@@ -93,8 +94,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		render    = fs.String("render", "json", "output: json, gantt, table, svg")
 		explain   = fs.Bool("explain", false, "print a causal critical-path report instead of the schedule (with -render svg: highlighted SVG on stdout, report on stderr)")
 		traceOut  = fs.String("trace", "", cliutil.TraceUsage)
-		sample    = fs.Uint64("tracesample", 1, "with -trace: keep replay spans for a seeded 1-in-N sample of processors; rank 0, the critical path, and the engine track are always kept, and counter graphs are thinned by the same factor. 1 keeps everything")
+		sample    = fs.Int64("tracesample", 1, "with -trace: keep replay spans for a seeded 1-in-N sample of processors; rank 0, the critical path, and the engine track are always kept, and counter graphs are thinned by the same factor. 1 keeps everything")
 		reportOut = fs.String("report", "", cliutil.ReportUsage)
+		storeDir  = fs.String("runstore", "", cliutil.RunstoreUsage)
 		metrics   = fs.Bool("metrics", false, cliutil.MetricsUsage)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +106,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	m, err := cliutil.Machine(*p, *l, *o, *g, *postal || *op == "kitem" || *op == "continuous")
 	if err != nil {
 		return err
+	}
+	if *sample < 1 {
+		return fmt.Errorf("-tracesample must be at least 1, got %d", *sample)
 	}
 	tb, ctorName, err := logtime.Select(*ctor, m.P)
 	if err != nil {
@@ -252,7 +257,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			for pr := range analyze().CriticalProcs() {
 				keep = append(keep, pr)
 			}
-			tracer.SetSampler(sim.DefaultTracePID, obs.NewSampler(*sample, 1, keep...))
+			tracer.SetSampler(sim.DefaultTracePID, obs.NewSampler(uint64(*sample), 1, keep...))
 		}
 		eng := sim.New(s.M, sim.Strict)
 		eng.Tracer = tracer
@@ -266,11 +271,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if *reportOut != "" {
+	if *reportOut != "" || *storeDir != "" {
 		r := cliutil.BuildReport("logpsched", *op, s, conform.DerivedOrigins(s), bound, analyze())
 		r.Constructor = ctorName
-		if err := cliutil.WriteReport("logpsched", r, *reportOut); err != nil {
-			return err
+		if *reportOut != "" {
+			if err := cliutil.WriteReport("logpsched", r, *reportOut); err != nil {
+				return err
+			}
+		}
+		if *storeDir != "" {
+			if err := cliutil.Archive("logpsched", *storeDir, r); err != nil {
+				return err
+			}
 		}
 	}
 

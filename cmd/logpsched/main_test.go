@@ -13,6 +13,7 @@ import (
 	"logpopt/internal/core"
 	"logpopt/internal/logp"
 	"logpopt/internal/obs/report"
+	"logpopt/internal/obs/runstore"
 	"logpopt/internal/schedule"
 	"logpopt/internal/sim"
 )
@@ -44,6 +45,8 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"unknown op", []string{"-op", "sideways"}, `unknown op "sideways"`},
 		{"unknown constructor", []string{"-constructor", "psychic"}, "unknown constructor"},
 		{"unknown render", []string{"-render", "hologram"}, "unknown render"},
+		{"zero tracesample", []string{"-tracesample", "0"}, "-tracesample"},
+		{"negative tracesample", []string{"-tracesample", "-3"}, "-tracesample"},
 		{"zero k", []string{"-op", "alltoall", "-k", "0"}, "-k"},
 		{"kitem zero k", []string{"-op", "kitem", "-P", "4", "-L", "3", "-k", "0"}, "-k"},
 		{"summation without t", []string{"-op", "summation", "-L", "6", "-o", "2", "-g", "4"}, "-t"},
@@ -118,6 +121,33 @@ func TestExplainGapZero(t *testing.T) {
 	}
 	if !strings.Contains(out, "gap 0") {
 		t.Fatalf("logtime-built broadcast misses its bound:\n%s", out)
+	}
+}
+
+// TestRunstoreArchives: -runstore files the run in the persistent store,
+// and a second identical run appends under the same key with the same
+// certified outcome — the precondition for reportdiff exiting clean.
+func TestRunstoreArchives(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	for i := 0; i < 2; i++ {
+		if _, err := exec(t, "-op", "broadcast", "-P", "48", "-runstore", dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatalf("store does not re-open: %v", err)
+	}
+	keys := s.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("want one key, got %v", keys)
+	}
+	h := s.History(keys[0])
+	if len(h) != 2 {
+		t.Fatalf("want two archived runs, got %d", len(h))
+	}
+	if h[0].Finish != h[1].Finish || h[0].Violations != 0 || h[1].Violations != 0 {
+		t.Fatalf("deterministic runs differ in the index: %+v", h)
 	}
 }
 

@@ -1,0 +1,237 @@
+// Command reportdiff compares run reports (internal/obs/report) and gates
+// on drift, the report sibling of cmd/benchdiff. It accepts three argument
+// shapes:
+//
+//	reportdiff old.json new.json     compare two report files
+//	reportdiff storeA/ storeB/      compare the latest run of every key
+//	                                shared by two run stores (-runstore dirs)
+//	reportdiff store/               compare each key's latest run against
+//	                                its predecessor within one store
+//
+// Exit status: 0 when nothing gates (identical runs exit 0 with an empty
+// verdict), 1 when any gated field drifts beyond its threshold, 2 on usage
+// or I/O errors. The per-field thresholds are fractional and adjustable:
+//
+//	reportdiff -finish 0.05 -quantile -1 old.json new.json
+//
+// A negative threshold disables that gate (the delta is still reported with
+// -v). A key present in the old store but absent from the new one gates —
+// lost coverage can hide a regression; a key only in the new store is
+// reported but does not gate.
+//
+// Usage:
+//
+//	logpsched -op broadcast -P 64 -runstore runs/
+//	logpsched -op broadcast -P 64 -runstore runs/
+//	reportdiff runs/                 # exit 0: deterministic, identical
+//	reportdiff -json runs/ | jq .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"logpopt/internal/obs/diff"
+	"logpopt/internal/obs/report"
+	"logpopt/internal/obs/runstore"
+)
+
+func main() {
+	gated, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reportdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if gated {
+		os.Exit(1)
+	}
+}
+
+// run executes one comparison and reports whether anything gated. Usage and
+// I/O problems come back as errors (exit 2); drift is the boolean (exit 1).
+func run(args []string, stdout, stderr io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("reportdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		finish     = fs.Float64("finish", diff.Default.Finish, "fractional threshold on the finish time (negative: report only)")
+		gap        = fs.Float64("gap", diff.Default.Gap, "fractional threshold on the gap to the closed-form bound")
+		breakdown  = fs.Float64("breakdown", diff.Default.Breakdown, "fractional threshold on each causal-breakdown component")
+		quantile   = fs.Float64("quantile", diff.Default.Quantile, "fractional threshold on each port-stat quantile rung")
+		violations = fs.Float64("violations", diff.Default.Violations, "fractional threshold on the violation count (0: exact)")
+		verbose    = fs.Bool("v", false, "list non-gated drift too, not just gated fields")
+		jsonOut    = fs.Bool("json", false, "emit the verdicts as one JSON array instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	th := diff.Thresholds{
+		Finish:     *finish,
+		Gap:        *gap,
+		Breakdown:  *breakdown,
+		Quantile:   *quantile,
+		Violations: *violations,
+	}
+
+	var verdicts []*diff.Verdict
+	switch pos := fs.Args(); len(pos) {
+	case 1:
+		if !isDir(pos[0]) {
+			return false, fmt.Errorf("%s is not a run store directory (one argument means: diff each key's latest run against its predecessor)", pos[0])
+		}
+		vs, err := diffWithin(pos[0], th)
+		if err != nil {
+			return false, err
+		}
+		verdicts = vs
+	case 2:
+		a, b := isDir(pos[0]), isDir(pos[1])
+		switch {
+		case a && b:
+			vs, err := diffStores(pos[0], pos[1], th)
+			if err != nil {
+				return false, err
+			}
+			verdicts = vs
+		case !a && !b:
+			v, err := diffFiles(pos[0], pos[1], th)
+			if err != nil {
+				return false, err
+			}
+			verdicts = []*diff.Verdict{v}
+		default:
+			return false, fmt.Errorf("cannot compare a report file with a store directory (%s vs %s)", pos[0], pos[1])
+		}
+	default:
+		return false, fmt.Errorf("want <old.json> <new.json>, <storeA> <storeB>, or <store>; got %d arguments", len(pos))
+	}
+
+	gated := false
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(verdicts); err != nil {
+			return false, err
+		}
+	}
+	for _, v := range verdicts {
+		if !*jsonOut {
+			v.Write(stdout, *verbose)
+		}
+		if v.Gated > 0 {
+			gated = true
+		}
+	}
+	if len(verdicts) == 0 && !*jsonOut {
+		fmt.Fprintln(stdout, "nothing to compare (no key has two runs)")
+	}
+	return gated, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// diffFiles compares two standalone report artifacts.
+func diffFiles(aPath, bPath string, th diff.Thresholds) (*diff.Verdict, error) {
+	a, err := report.ReadFile(aPath)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", aPath, err)
+	}
+	b, err := report.ReadFile(bPath)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", bPath, err)
+	}
+	v := diff.Compare(a, b, th)
+	v.A, v.B = aPath, bPath
+	return v, nil
+}
+
+// diffWithin compares, per key of one store, the latest run against its
+// predecessor. Keys with a single run have nothing to compare and are
+// skipped.
+func diffWithin(dir string, th diff.Thresholds) ([]*diff.Verdict, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*diff.Verdict
+	for _, k := range s.Keys() {
+		h := s.History(k)
+		if len(h) < 2 {
+			continue
+		}
+		prev, last := h[len(h)-2], h[len(h)-1]
+		v, err := diffEntries(s, prev, s, last, th)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// diffStores compares the latest run of every key shared by two stores. A
+// key the old store has but the new one lost gates (vanished coverage can
+// hide a regression); a key only the new store has is informational.
+func diffStores(aDir, bDir string, th diff.Thresholds) ([]*diff.Verdict, error) {
+	sa, err := runstore.Open(aDir)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := runstore.Open(bDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*diff.Verdict
+	for _, k := range sa.Keys() {
+		ea, _ := sa.Latest(k)
+		eb, ok := sb.Latest(k)
+		if !ok {
+			out = append(out, presenceVerdict(k, ea.Name(), "absent", true))
+			continue
+		}
+		v, err := diffEntries(sa, ea, sb, eb, th)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	for _, k := range sb.Keys() {
+		if _, ok := sa.Latest(k); !ok {
+			eb, _ := sb.Latest(k)
+			out = append(out, presenceVerdict(k, "absent", eb.Name(), false))
+		}
+	}
+	return out, nil
+}
+
+// presenceVerdict records a key that exists on only one side.
+func presenceVerdict(k runstore.Key, a, b string, gated bool) *diff.Verdict {
+	v := &diff.Verdict{A: a, B: b}
+	v.Deltas = append(v.Deltas, diff.Delta{
+		Field: "key[" + k.String() + "]",
+		Old:   a, New: b, Gated: gated,
+	})
+	if gated {
+		v.Gated++
+	}
+	return v
+}
+
+func diffEntries(sa *runstore.Store, ea runstore.Entry, sb *runstore.Store, eb runstore.Entry, th diff.Thresholds) (*diff.Verdict, error) {
+	a, err := sa.Load(ea)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sb.Load(eb)
+	if err != nil {
+		return nil, err
+	}
+	v := diff.Compare(a, b, th)
+	v.A, v.B = ea.Name(), eb.Name()
+	return v, nil
+}

@@ -14,6 +14,7 @@ import (
 	"logpopt/internal/obs"
 	"logpopt/internal/obs/causal"
 	"logpopt/internal/obs/report"
+	"logpopt/internal/obs/runstore"
 	"logpopt/internal/obs/serve"
 	"logpopt/internal/obs/timeseries"
 	"logpopt/internal/par"
@@ -30,7 +31,10 @@ const (
 	ReportUsage  = "write a versioned JSON run report to `file` (machine, finish vs bound, " +
 		"causal breakdown, port stats, time series; default: no report)"
 	ServeUsage = "serve live telemetry over HTTP on `address` (:0 picks a free port): " +
-		"/metrics, /debug/pprof/, /traces/, /timeseries, /runs/, /dashboard (default: off)"
+		"/metrics, /debug/pprof/, /traces/, /timeseries, /runs/, /compare, /regimes, /dashboard (default: off)"
+	RunstoreUsage = "archive the run report into the persistent run store at `dir`, " +
+		"keyed by (tool, op, constructor, machine) — the substrate for cmd/reportdiff " +
+		"and the /regimes view (default: off)"
 )
 
 // Machine validates the -P/-L/-o/-g flag values every tool accepts and
@@ -185,6 +189,23 @@ func WriteReport(cmd string, r *report.Report, path string) error {
 	return nil
 }
 
+// Archive appends r to the run store at dir (creating it on first use) and
+// confirms the entry name on stderr, so every tool's -runstore flag behaves
+// identically. The store validates before filing, so a report that fails its
+// own schema never lands in the archive.
+func Archive(cmd, dir string, r *report.Report) error {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	e, err := s.Put(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: run report archived as %s in %s\n", cmd, e.Name(), dir)
+	return nil
+}
+
 // serveSampleInterval is the wall-clock cadence of the collector StartServe
 // attaches for /timeseries and /dashboard.
 const serveSampleInterval = time.Second
@@ -210,12 +231,14 @@ func StandardCollector() *timeseries.Collector {
 
 // StartServe starts the telemetry server over the default metrics registry
 // when addr is non-empty, announcing the bound address on stderr. A non-nil
-// tracer is exposed live at /traces/live, and a standard wall-clock
-// collector (process RSS, goroutines, pool occupancy, hot registry
-// counters) feeds /timeseries and /dashboard, sampling once a second until
-// the server closes. The caller owns the returned server (nil when addr is
-// empty) and should Close it on shutdown.
-func StartServe(cmd, addr string, tracer *obs.Tracer) (*serve.Server, error) {
+// tracer is exposed live at /traces/live; a non-empty storeDir opens (or
+// creates) the run store there and attaches it, so /runs/, /compare, and
+// /regimes cover the archive a tool's -runstore flag writes to. A standard
+// wall-clock collector (process RSS, goroutines, pool occupancy, hot
+// registry counters) feeds /timeseries and /dashboard, sampling once a
+// second until the server closes. The caller owns the returned server (nil
+// when addr is empty) and should Close it on shutdown.
+func StartServe(cmd, addr string, tracer *obs.Tracer, storeDir string) (*serve.Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -224,6 +247,13 @@ func StartServe(cmd, addr string, tracer *obs.Tracer) (*serve.Server, error) {
 		if err := srv.AddTracer("live", tracer); err != nil {
 			return nil, err
 		}
+	}
+	if storeDir != "" {
+		st, err := runstore.Open(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		srv.SetStore(st)
 	}
 	ts := StandardCollector()
 	srv.SetTimeseries(ts)

@@ -17,10 +17,12 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"logpopt/internal/logp"
 	"logpopt/internal/obs/causal"
@@ -67,11 +69,14 @@ func fromCausal(b causal.Breakdown) Breakdown {
 	}
 }
 
-// Quantiles summarizes one per-processor distribution.
+// Quantiles summarizes one per-processor distribution. The ladder matches
+// what the metrics registry's histograms expose (p50/p90/p99), so a report
+// quantile and a /metrics summary quantile are always comparable.
 type Quantiles struct {
 	Min int64 `json:"min"`
 	P50 int64 `json:"p50"`
 	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
 	Max int64 `json:"max"`
 }
 
@@ -86,7 +91,7 @@ func quantiles(vals []int64) Quantiles {
 		i := int(q*float64(len(s)-1) + 0.5)
 		return s[i]
 	}
-	return Quantiles{Min: s[0], P50: rank(0.5), P90: rank(0.9), Max: s[len(s)-1]}
+	return Quantiles{Min: s[0], P50: rank(0.5), P90: rank(0.9), P99: rank(0.99), Max: s[len(s)-1]}
 }
 
 // Stats is the port-activity summary: the aggregate schedule.Stats fields
@@ -207,12 +212,21 @@ func (r *Report) WriteFile(path string) error {
 }
 
 // Read strictly decodes one report from data: unknown fields are rejected,
-// and the document must pass Validate.
+// and the document must pass Validate. Each failure mode keeps its own
+// actionable message — a truncated artifact (lost write, partial upload)
+// reads differently from schema drift (a field this reader does not know)
+// and from version drift (caught by Validate).
 func Read(data []byte) (*Report, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var r Report
 	if err := dec.Decode(&r); err != nil {
+		switch {
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, fmt.Errorf("report: truncated document (partial write or upload?): %w", err)
+		case strings.Contains(err.Error(), "unknown field"):
+			return nil, fmt.Errorf("report: %w — schema version %d has no such field; was this written by a newer tool?", err, Version)
+		}
 		return nil, fmt.Errorf("report: %w", err)
 	}
 	if err := r.Validate(); err != nil {
@@ -270,7 +284,7 @@ func (r *Report) Validate() error {
 			return fmt.Errorf("report: port utilization %g out of [0,1]", st.PortUtilFinish)
 		}
 		for _, q := range []Quantiles{st.ProcBusy, st.ProcIdle} {
-			if q.Min > q.P50 || q.P50 > q.P90 || q.P90 > q.Max {
+			if q.Min > q.P50 || q.P50 > q.P90 || q.P90 > q.P99 || q.P99 > q.Max {
 				return fmt.Errorf("report: disordered quantiles %+v", q)
 			}
 		}

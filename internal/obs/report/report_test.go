@@ -121,7 +121,98 @@ func TestQuantiles(t *testing.T) {
 		t.Fatalf("empty quantiles: %+v", z)
 	}
 	one := quantiles([]int64{4})
-	if one.Min != 4 || one.P50 != 4 || one.P90 != 4 || one.Max != 4 {
+	if one.Min != 4 || one.P50 != 4 || one.P90 != 4 || one.P99 != 4 || one.Max != 4 {
 		t.Fatalf("single-value quantiles: %+v", one)
+	}
+}
+
+// TestQuantilesP99 is the regression test for the p99 rung: the report's
+// quantile ladder must match what the metrics histograms expose
+// (min/p50/p90/p99/max), computed nearest-rank and kept ordered by
+// Validate. Before the fix Quantiles stopped at P90, so a report could not
+// be compared against a /metrics summary at the tail.
+func TestQuantilesP99(t *testing.T) {
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = int64(i) // 0..199: p99 must land at the tail, beyond p90
+	}
+	q := quantiles(vals)
+	if q.P99 != 197 {
+		t.Fatalf("p99 of 0..199: got %d, want nearest-rank 197 (%+v)", q.P99, q)
+	}
+	if !(q.Min <= q.P50 && q.P50 <= q.P90 && q.P90 <= q.P99 && q.P99 <= q.Max) {
+		t.Fatalf("quantile ladder disordered: %+v", q)
+	}
+	if q.P99 <= q.P90 {
+		t.Fatalf("p99 %d does not separate from p90 %d on a 200-point tail", q.P99, q.P90)
+	}
+
+	// Validate enforces the new rung in both directions.
+	r := buildReport(t)
+	r.Stats.ProcBusy.P99 = r.Stats.ProcBusy.P90 - 1
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "quantiles") {
+		t.Fatalf("Validate accepted p99 < p90: %v", err)
+	}
+	r = buildReport(t)
+	r.Stats.ProcIdle.P99 = r.Stats.ProcIdle.Max + 1
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "quantiles") {
+		t.Fatalf("Validate accepted p99 > max: %v", err)
+	}
+}
+
+// TestReadStrictErrors pins the three decode failure modes to distinct,
+// actionable messages: schema drift (an unknown top-level field), version
+// drift, and a truncated document each tell the operator what happened and
+// what to do about it.
+func TestReadStrictErrors(t *testing.T) {
+	var b bytes.Buffer
+	if err := buildReport(t).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	good := b.String()
+
+	unknown := strings.Replace(good, `"version"`, `"surprise": 1, "version"`, 1)
+	_, err := Read([]byte(unknown))
+	if err == nil {
+		t.Fatal("unknown top-level field decoded")
+	}
+	unknownMsg := err.Error()
+	if !strings.Contains(unknownMsg, `"surprise"`) || !strings.Contains(unknownMsg, "newer tool") {
+		t.Fatalf("unknown-field error does not name the field and the likely cause: %q", unknownMsg)
+	}
+
+	wrongVersion := strings.Replace(good, `"version": 1`, `"version": 99`, 1)
+	_, err = Read([]byte(wrongVersion))
+	if err == nil {
+		t.Fatal("wrong version decoded")
+	}
+	versionMsg := err.Error()
+	if !strings.Contains(versionMsg, "version 99") || !strings.Contains(versionMsg, "understands 1") {
+		t.Fatalf("version error does not state both versions: %q", versionMsg)
+	}
+
+	truncated := good[:len(good)/2]
+	_, err = Read([]byte(truncated))
+	if err == nil {
+		t.Fatal("truncated document decoded")
+	}
+	truncMsg := err.Error()
+	if !strings.Contains(truncMsg, "truncated") {
+		t.Fatalf("truncation error not actionable: %q", truncMsg)
+	}
+	if _, err := Read(nil); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("empty document error not actionable: %v", err)
+	}
+
+	// The three messages must be mutually distinct — an operator seeing one
+	// should never mistake it for another failure mode.
+	for name, pair := range map[string][2]string{
+		"unknown vs version":   {unknownMsg, versionMsg},
+		"unknown vs truncated": {unknownMsg, truncMsg},
+		"version vs truncated": {versionMsg, truncMsg},
+	} {
+		if pair[0] == pair[1] {
+			t.Errorf("%s: identical error %q", name, pair[0])
+		}
 	}
 }

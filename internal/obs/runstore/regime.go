@@ -1,0 +1,211 @@
+// Regime maps: fold a store of archived runs into one picture over the
+// machine parameters. Every key's latest run is a measurement; grouping
+// them by machine and keeping the winner per machine gives the regime
+// table ("on this (P, L, o, g), this algorithm is best, it misses the
+// closed-form bound by this gap, and this constraint class dominates its
+// critical path") that PAPERS.md's cluster-tuning line of work builds
+// decision layers on.
+
+package runstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"logpopt/internal/obs/report"
+)
+
+// Cell is one machine's row of the regime table.
+type Cell struct {
+	Machine report.Machine
+	Best    Entry   // latest run of the key with the smallest finish
+	Entries []Entry // latest run of every key on this machine, finish order
+}
+
+// BestOp names the winning algorithm: the op, qualified by its constructor
+// when one was recorded.
+func (c Cell) BestOp() string {
+	if c.Best.Key.Constructor != "" {
+		return c.Best.Key.Op + "/" + c.Best.Key.Constructor
+	}
+	return c.Best.Key.Op
+}
+
+// Regimes folds the store into its regime table: one cell per distinct
+// machine, carrying the latest run of every key measured there, with the
+// smallest-finish run as the cell's winner (ties to the lexically first
+// key, so the table is deterministic). Cells are sorted by (P, L, o, g).
+func (s *Store) Regimes() []Cell {
+	byMachine := map[report.Machine]*Cell{}
+	for _, k := range s.Keys() {
+		e, ok := s.Latest(k)
+		if !ok {
+			continue
+		}
+		c := byMachine[k.Machine]
+		if c == nil {
+			c = &Cell{Machine: k.Machine, Best: e}
+			byMachine[k.Machine] = c
+		}
+		c.Entries = append(c.Entries, e)
+		if e.Finish < c.Best.Finish {
+			c.Best = e
+		}
+	}
+	out := make([]Cell, 0, len(byMachine))
+	for _, c := range byMachine {
+		sort.Slice(c.Entries, func(i, j int) bool {
+			a, b := c.Entries[i], c.Entries[j]
+			if a.Finish != b.Finish {
+				return a.Finish < b.Finish
+			}
+			return a.Key.String() < b.Key.String()
+		})
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Machine, out[j].Machine
+		switch {
+		case a.P != b.P:
+			return a.P < b.P
+		case a.L != b.L:
+			return a.L < b.L
+		case a.O != b.O:
+			return a.O < b.O
+		}
+		return a.G < b.G
+	})
+	return out
+}
+
+// heatColor maps gap/maxGap to a fill: green at 0 through yellow to red at
+// the worst observed gap. Deterministic, no external palette.
+func heatColor(gap, maxGap int64) string {
+	if gap <= 0 {
+		return "#2f9e44"
+	}
+	f := float64(gap) / float64(maxGap)
+	if f > 1 {
+		f = 1
+	}
+	// 0 -> green(47,158,68), 0.5 -> yellow(230,190,60), 1 -> red(201,42,42)
+	lerp := func(a, b float64, t float64) int { return int(a + (b-a)*t + 0.5) }
+	var r, g, b int
+	if f < 0.5 {
+		t := f / 0.5
+		r, g, b = lerp(47, 230, t), lerp(158, 190, t), lerp(68, 60, t)
+	} else {
+		t := (f - 0.5) / 0.5
+		r, g, b = lerp(230, 201, t), lerp(190, 42, t), lerp(60, 42, t)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// RegimeSVG renders cells as a P (columns) by L (rows) heatmap colored by
+// the winning run's gap to its closed-form bound. Machines that share a
+// (P, L) pair but differ in o or g stack as extra rows labeled with the
+// full parameter set. Each cell carries machine-readable data-p / data-l /
+// data-o / data-g / data-gap / data-op / data-dominant attributes, so the
+// rendering doubles as the regime table for tools scraping /regimes.
+func RegimeSVG(cells []Cell) string {
+	type rowKey struct{ L, O, G int64 }
+	type pos struct {
+		p  int
+		rk rowKey
+	}
+	psSet, rowSet := map[int]bool{}, map[rowKey]bool{}
+	byPos := map[pos]Cell{}
+	maxGap := int64(0)
+	for _, c := range cells {
+		m := c.Machine
+		rk := rowKey{m.L, m.O, m.G}
+		psSet[m.P] = true
+		rowSet[rk] = true
+		byPos[pos{m.P, rk}] = c
+		if c.Best.Gap > maxGap {
+			maxGap = c.Best.Gap
+		}
+	}
+	ps := make([]int, 0, len(psSet))
+	for p := range psSet {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	rows := make([]rowKey, 0, len(rowSet))
+	for rk := range rowSet {
+		rows = append(rows, rk)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		switch {
+		case a.L != b.L:
+			return a.L < b.L
+		case a.O != b.O:
+			return a.O < b.O
+		}
+		return a.G < b.G
+	})
+
+	const (
+		cw, ch    = 104, 46 // cell size
+		left, top = 120, 54 // axis gutters
+		pad       = 10
+		fontCell  = 11
+		fontAxis  = 12
+		fontTitle = 13
+	)
+	w := left + cw*len(ps) + pad
+	h := top + ch*len(rows) + pad
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="%d">regime map: best algorithm and gap to the closed-form bound per machine</text>`+"\n", pad, fontTitle)
+	for i, p := range ps {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" text-anchor="middle">P=%d</text>`+"\n",
+			left+i*cw+cw/2, top-10, fontAxis, p)
+	}
+	for j, rk := range rows {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" text-anchor="end">L=%d o=%d g=%d</text>`+"\n",
+			left-8, top+j*ch+ch/2+4, fontAxis, rk.L, rk.O, rk.G)
+	}
+	for j, rk := range rows {
+		for i, p := range ps {
+			c, ok := byPos[pos{p, rk}]
+			x, y := left+i*cw, top+j*ch
+			if !ok {
+				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f1f3f5" stroke="#dee2e6"/>`+"\n",
+					x, y, cw-2, ch-2)
+				continue
+			}
+			e := c.Best
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#495057" data-p="%d" data-l="%d" data-o="%d" data-g="%d" data-gap="%d" data-op="%s" data-dominant="%s"/>`+"\n",
+				x, y, cw-2, ch-2, heatColor(e.Gap, maxGap),
+				c.Machine.P, c.Machine.L, c.Machine.O, c.Machine.G,
+				e.Gap, xmlEscape(c.BestOp()), xmlEscape(e.Dominant))
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="#ffffff">%s</text>`+"\n",
+				x+5, y+16, fontCell, xmlEscape(clip(c.BestOp(), 14)))
+			sub := fmt.Sprintf("gap %d", e.Gap)
+			if e.Dominant != "" {
+				sub += " · " + e.Dominant
+			}
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" fill="#ffffff">%s</text>`+"\n",
+				x+5, y+32, fontCell, xmlEscape(clip(sub, 16)))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

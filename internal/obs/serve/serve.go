@@ -3,8 +3,10 @@
 // profiles at /debug/pprof/, completed Chrome-trace JSON documents at
 // /traces/, the time-resolved series of an attached collector at
 // /timeseries, validated run reports at /runs/, and a zero-dependency live
-// dashboard at /dashboard. The CLIs mount it behind a -serve :addr flag so
-// a long bench or conformance sweep can be inspected while it runs.
+// dashboard at /dashboard. With a run store attached (SetStore), archived
+// runs join /runs/, any two runs diff at /compare?a=&b=, and /regimes
+// renders the store's regime map. The CLIs mount it behind a -serve :addr
+// flag so a long bench or conformance sweep can be inspected while it runs.
 package serve
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"logpopt/internal/obs"
 	"logpopt/internal/obs/report"
+	"logpopt/internal/obs/runstore"
 	"logpopt/internal/obs/timeseries"
 )
 
@@ -36,6 +39,7 @@ type Server struct {
 	mu      sync.Mutex
 	traces  map[string]func() ([]byte, error)
 	runs    map[string][]byte
+	store   *runstore.Store
 	ts      *timeseries.Collector
 	closers []func()
 	ln      net.Listener
@@ -155,6 +159,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/traces/", s.trace)
 	mux.HandleFunc("/timeseries", s.timeseries)
 	mux.HandleFunc("/runs/", s.run)
+	mux.HandleFunc("/compare", s.compare)
+	mux.HandleFunc("/regimes", s.regimes)
 	mux.HandleFunc("/dashboard", s.dashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -215,6 +221,8 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "/traces/       completed trace documents (Chrome trace JSON)\n")
 	fmt.Fprintf(w, "/timeseries    time-resolved series of the attached collector (JSON)\n")
 	fmt.Fprintf(w, "/runs/         validated run reports (JSON artifacts)\n")
+	fmt.Fprintf(w, "/compare       diff two runs: /compare?a=<run>&b=<run> (names from /runs/)\n")
+	fmt.Fprintf(w, "/regimes       regime map and per-key history of the attached run store\n")
 	fmt.Fprintf(w, "/dashboard     live sparkline dashboard over /timeseries\n")
 }
 
@@ -275,7 +283,16 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 		for n := range s.runs {
 			names = append(names, n)
 		}
+		st := s.store
 		s.mu.Unlock()
+		if st != nil {
+			// Archived runs join the listing under their store-wide names
+			// ("<keydir>@<seq>" — no separators, so they can never shadow
+			// the in-memory registry's vetted names).
+			for _, e := range st.Entries() {
+				names = append(names, e.Name())
+			}
+		}
 		sort.Strings(names)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for _, n := range names {
@@ -285,7 +302,18 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	data := s.runs[name]
+	st := s.store
 	s.mu.Unlock()
+	if data == nil && st != nil {
+		if rep, err := st.Get(name); err == nil {
+			var b bytes.Buffer
+			if err := rep.Write(&b); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			data = b.Bytes()
+		}
+	}
 	if data == nil {
 		http.NotFound(w, r)
 		return

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/obs"
+	"logpopt/internal/obs/report"
+	"logpopt/internal/obs/runstore"
+)
+
+// storeWithRuns builds a store holding two identical broadcast runs and one
+// drifted run (three violations), returning their entry names.
+func storeWithRuns(t *testing.T) (*runstore.Store, []string) {
+	t.Helper()
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := logp.MustNew(8, 6, 2, 4)
+	var names []string
+	for _, violations := range []int{0, 0, 3} {
+		r := report.New("logpsched", m)
+		r.Op = "broadcast"
+		r.Violations = violations
+		e, err := st.Put(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, e.Name())
+	}
+	return st, names
+}
+
+// TestStoreBackedRuns: archived runs join the /runs/ listing next to the
+// in-memory registry and are fetchable by their store-wide names.
+func TestStoreBackedRuns(t *testing.T) {
+	s := New(obs.NewRegistry())
+	st, names := storeWithRuns(t)
+	s.SetStore(st)
+	m := logp.MustNew(8, 6, 2, 4)
+	if err := s.AddReport("night.json", report.New("test", m)); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	code, body, _ := get(t, h, "/runs/")
+	if code != 200 || !strings.Contains(body, "/runs/night.json") {
+		t.Fatalf("runs index lost the in-memory registry: code %d body %q", code, body)
+	}
+	for _, n := range names {
+		if !strings.Contains(body, "/runs/"+n) {
+			t.Fatalf("runs index missing archived %s:\n%s", n, body)
+		}
+	}
+	code, body, hdr := get(t, h, "/runs/"+names[0])
+	if code != 200 || !strings.Contains(body, `"tool": "logpsched"`) {
+		t.Fatalf("archived run fetch: code %d body %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("archived run content type %q", ct)
+	}
+	code, _, _ = get(t, h, "/runs/"+names[0]+"9@1")
+	if code != 404 {
+		t.Errorf("bogus store name: code %d, want 404", code)
+	}
+
+	// The index advertises the new routes.
+	_, body, _ = get(t, h, "/")
+	for _, want := range []string{"/compare", "/regimes"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s", want)
+		}
+	}
+}
+
+// TestCompare: identical runs produce an empty verdict, drifted runs a
+// gated one, and names resolve across both registries.
+func TestCompare(t *testing.T) {
+	s := New(obs.NewRegistry())
+	st, names := storeWithRuns(t)
+	s.SetStore(st)
+	h := s.Handler()
+
+	code, body, _ := get(t, h, "/compare?a="+names[0]+"&b="+names[1])
+	if code != 200 || !strings.Contains(body, "identical") {
+		t.Fatalf("identical compare: code %d body %q", code, body)
+	}
+	code, body, _ = get(t, h, "/compare?a="+names[0]+"&b="+names[2])
+	if code != 200 || !strings.Contains(body, "GATED") || !strings.Contains(body, "violations") {
+		t.Fatalf("drifted compare: code %d body %q", code, body)
+	}
+
+	// A registry run and a store run compare too.
+	m := logp.MustNew(8, 6, 2, 4)
+	r := report.New("logpsched", m)
+	r.Op = "broadcast"
+	if err := s.AddReport("mem.json", r); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ = get(t, h, "/compare?a=mem.json&b="+names[0])
+	if code != 200 || !strings.Contains(body, "identical") {
+		t.Fatalf("cross-registry compare: code %d body %q", code, body)
+	}
+
+	// Machine-readable verdict.
+	code, body, hdr := get(t, h, "/compare?a="+names[0]+"&b="+names[2]+"&format=json")
+	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("json compare: code %d type %q", code, hdr.Get("Content-Type"))
+	}
+	var v struct {
+		Gated int `json:"gated"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil || v.Gated == 0 {
+		t.Fatalf("json verdict: err %v body %q", err, body)
+	}
+
+	// Bad requests: missing params are 400, unknown names 404.
+	if code, _, _ := get(t, h, "/compare?a="+names[0]); code != 400 {
+		t.Errorf("missing b: code %d, want 400", code)
+	}
+	if code, _, _ := get(t, h, "/compare?a=nope@1&b="+names[0]); code != 404 {
+		t.Errorf("unknown run: code %d, want 404", code)
+	}
+}
+
+// TestRegimes: the view renders the store's heatmap with machine-readable
+// cells and the per-key history; without a store it is a 404, not a panic.
+func TestRegimes(t *testing.T) {
+	s := New(obs.NewRegistry())
+	if code, _, _ := get(t, s.Handler(), "/regimes"); code != 404 {
+		t.Fatalf("regimes without a store: code %d, want 404", code)
+	}
+	st, _ := storeWithRuns(t)
+	s.SetStore(st)
+	h := s.Handler()
+
+	code, body, hdr := get(t, h, "/regimes")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "text/html") {
+		t.Fatalf("regimes page: code %d type %q", code, hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{"<svg", `data-p="8"`, `data-op="broadcast"`, "finish history", "3 run(s)"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("regimes page missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, hdr = get(t, h, "/regimes?format=svg")
+	if code != 200 || hdr.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("regimes svg: code %d type %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(body, "<svg") || strings.Contains(body, "<html") {
+		t.Fatalf("format=svg is not a standalone svg:\n%.200s", body)
+	}
+}
