@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke report-smoke report-diff-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
+.PHONY: all check build test race bench bench-json bench-gate bench-scale trace-smoke report-smoke report-diff-smoke servd-smoke fuzz conform conform-logtime vet fmt examples reproduce clean
 
 all: build test
 
@@ -23,13 +23,17 @@ bench:
 
 # Machine-readable benchmark results (BENCH_3.json): wall time plus the
 # solver/sim effort counters the benchmarks report via b.ReportMetric
-# (nodes/op, prunes/op, memohits/op, events/op, events/sec, peak_rss_bytes
-# land in each entry's "extra"). The scale sweep (P up to 1e6) runs in a
-# second invocation with a fixed iteration count so the million-processor
-# benchmarks bound the suite's wall time instead of filling a benchtime.
+# (nodes/op, prunes/op, memohits/op, events/op, events/sec, peak_rss_bytes,
+# req/sec, p99_us land in each entry's "extra"). The scale sweep (P up to
+# 1e6) runs in a second invocation with a fixed iteration count so the
+# million-processor benchmarks bound the suite's wall time instead of
+# filling a benchtime. The serving benchmarks run without -benchmem: HTTP
+# allocation counts are scheduler-dependent, and the exact-allocs gate
+# would trip on noise — req/sec and p99_us are their gated metrics.
 bench-json:
 	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay|Construct' -benchmem -run=^$$ \
 		./internal/continuous/ ./internal/bench/ ./internal/sim/ ; \
+	  $(GO) test -bench='Servd' -run=^$$ ./internal/bench/ ; \
 	  $(GO) test -bench='Scale' -benchtime 2x -benchmem -run=^$$ ./internal/bench/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_3.json
 	@cat BENCH_3.json
@@ -43,10 +47,11 @@ bench-json:
 bench-gate:
 	{ $(GO) test -bench='Portfolio|Memoized|Sweep|SimReplay|Construct' -benchmem -run=^$$ \
 		./internal/continuous/ ./internal/bench/ ./internal/sim/ ; \
+	  $(GO) test -bench='Servd' -run=^$$ ./internal/bench/ ; \
 	  $(GO) test -bench='Scale' -benchtime 2x -benchmem -run=^$$ ./internal/bench/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_gate.json
 	$(GO) run ./cmd/benchdiff $(if $(CI),,-strict) \
-		-extra 'events/sec=0.25,peak_rss_bytes=0.25' \
+		-extra 'events/sec=0.25,peak_rss_bytes=0.25,req/sec=0.5,p99_us=0.5' \
 		BENCH_3.json BENCH_gate.json
 	@rm -f BENCH_gate.json
 
@@ -87,6 +92,17 @@ report-diff-smoke:
 		-exec sed -i 's/"violations": 0/"violations": 7/' {} +
 	! $(GO) run ./cmd/reportdiff report-diff-store
 	@rm -rf report-diff-store
+
+# Smoke-test the scheduling service end to end: build the daemon, boot it on
+# an ephemeral port, wait for /readyz, fire 32 concurrent identical cold
+# requests and assert the singleflight collapsed them into exactly one solver
+# run, check the RED series landed on /metrics, diff `logpsched -remote`
+# against a local solve byte-for-byte, then SIGTERM and require a clean exit.
+servd-smoke:
+	$(GO) build -o servd-smoke-bin ./cmd/logpservd
+	$(GO) build -o servd-smoke-sched ./cmd/logpsched
+	$(GO) run ./cmd/servdsmoke -bin ./servd-smoke-bin -sched ./servd-smoke-sched
+	@rm -f servd-smoke-bin servd-smoke-sched
 
 # Short fuzzing pass over the schedule validator and the conformance harness.
 fuzz:

@@ -13,6 +13,14 @@
 //	logpsched -op broadcast -explain
 //	logpsched -op broadcast -P 100000 -constructor logtime > big.json
 //	logpsched -op linear -explain -render svg > chain.svg
+//	logpsched -op broadcast -P 64 -remote http://127.0.0.1:8080 > bcast.json
+//
+// -remote turns the tool into a thin client of a running logpservd: the
+// schedule is fetched from the service (which runs the identical compile
+// layer behind a cache) instead of solved locally, and with -render json the
+// service's bytes are emitted verbatim — byte-identical to a local solve.
+// -explain, -trace, -report, and -runstore need a local solve and are
+// rejected alongside -remote.
 //
 // -explain replaces the schedule output with a causal critical-path report:
 // the chain of events that determines the finish time, each with its
@@ -43,30 +51,24 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 
 	logpopt "logpopt"
-	"logpopt/internal/baseline"
 	"logpopt/internal/cliutil"
-	"logpopt/internal/combine"
 	"logpopt/internal/conform"
-	"logpopt/internal/core"
 	"logpopt/internal/logp"
 	"logpopt/internal/logtime"
 	"logpopt/internal/obs"
 	"logpopt/internal/obs/causal"
 	"logpopt/internal/par"
+	"logpopt/internal/schedule"
+	"logpopt/internal/serve/sched"
 	"logpopt/internal/sim"
-	"logpopt/internal/summation"
 	"logpopt/internal/trace"
 )
-
-// ops lists every operation -op accepts, for the unknown-op error.
-var ops = []string{
-	"broadcast", "linear", "flat", "binary", "binomial",
-	"alltoall", "personalized", "scatter", "gather",
-	"reduce", "scan", "kitem", "continuous", "summation",
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -98,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reportOut = fs.String("report", "", cliutil.ReportUsage)
 		storeDir  = fs.String("runstore", "", cliutil.RunstoreUsage)
 		metrics   = fs.Bool("metrics", false, cliutil.MetricsUsage)
+		remote    = fs.String("remote", "", cliutil.RemoteUsage)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,15 +113,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *sample < 1 {
 		return fmt.Errorf("-tracesample must be at least 1, got %d", *sample)
 	}
-	tb, ctorName, err := logtime.Select(*ctor, m.P)
-	if err != nil {
-		return err
+	if !sched.KnownOp(*op) {
+		return fmt.Errorf("unknown op %q (want one of %v)", *op, sched.Ops)
 	}
 	switch *op {
 	case "kitem", "alltoall", "continuous":
 		if *k < 1 {
 			return fmt.Errorf("-k must be at least 1, got %d", *k)
 		}
+	}
+	if *op == "summation" && *deadline <= 0 {
+		return errors.New("summation requires -t <deadline> (e.g. -t 28 for Figure 6)")
+	}
+
+	if *remote != "" {
+		if *explain || *traceOut != "" || *reportOut != "" || *storeDir != "" {
+			return errors.New("-remote fetches schedules only; -explain, -trace, -report, and -runstore need a local solve (or use the service's /v1/explain)")
+		}
+		return runRemote(*remote, *op, *ctor, m, *k, logp.Time(*deadline), *render, stdout)
+	}
+
+	tb, ctorName, err := logtime.Select(*ctor, m.P)
+	if err != nil {
+		return err
 	}
 
 	// The tracer sees two time bases on separate process tracks: wall-clock
@@ -141,95 +158,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer func() { fmt.Fprint(stderr, obs.Default.Snapshot()) }()
 	}
 
-	// bound is the op's closed-form lower bound (-1: none known); ref is its
-	// reference breakdown for gap attribution (nil: proportional to achieved).
-	var s *logpopt.Schedule
-	bound := logp.Time(-1)
-	var ref *causal.Breakdown
-	// The ß(P) tree behind broadcast/reduce/scan/summation comes from the
-	// selected constructor; its max label IS the optimal broadcast time, so
-	// no second search is ever run just for the bound.
-	optimalBroadcastRef := func() *causal.Breakdown {
-		opt, terr := core.TreeSchedule(tb(m, m.P), 0, nil, 0)
-		if terr != nil {
-			return nil
-		}
-		r := causal.Analyze(opt, logpopt.BroadcastOrigins(0)).Achieved
-		return &r
+	// The compile layer (internal/serve/sched) is the single source of truth
+	// for "what schedule answers (op, machine, k, t)" — cmd/logpservd runs
+	// the same code behind its cache, which is what makes -remote answers
+	// diffable against local ones byte for byte.
+	c, err := sched.Compile(m, *op, *k, logp.Time(*deadline), tb)
+	if err != nil {
+		return err
 	}
-	switch *op {
-	case "broadcast":
-		tr := tb(m, m.P)
-		s, err = core.TreeSchedule(tr, 0, nil, 0)
-		if err != nil {
-			return err
-		}
-		bound = tr.MaxLabel()
-	case "linear", "flat", "binary", "binomial":
-		var tr *logpopt.Tree
-		switch *op {
-		case "linear":
-			tr = logpopt.LinearTree(m, m.P)
-		case "flat":
-			tr = logpopt.FlatTree(m, m.P)
-		case "binary":
-			tr = logpopt.BinaryTree(m, m.P)
-		case "binomial":
-			tr = logpopt.BinomialTree(m, m.P)
-		}
-		s, err = baseline.Schedule(tr, 0)
-		if err != nil {
-			return err
-		}
-		bound = tb(m, m.P).MaxLabel()
-		ref = optimalBroadcastRef()
-	case "alltoall":
-		s = logpopt.AllToAllSchedule(m, *k)
-		bound = logpopt.AllToAllLowerBound(m, *k)
-	case "personalized":
-		s = logpopt.PersonalizedSchedule(m)
-		bound = logpopt.AllToAllLowerBound(m, 1)
-	case "scatter":
-		s = logpopt.ScatterSchedule(m)
-		bound = logpopt.ScatterLowerBound(m)
-	case "gather":
-		s = logpopt.GatherSchedule(m)
-		bound = logpopt.ScatterLowerBound(m)
-	case "reduce":
-		tr := tb(m, m.P)
-		s = combine.ReduceScheduleWith(m, m.P, func(logp.Machine, int) *core.Tree { return tr })
-		bound = tr.MaxLabel()
-	case "scan":
-		tr := tb(m, m.P)
-		s = combine.ScanScheduleWith(m, m.P, func(logp.Machine, int) *core.Tree { return tr })
-		bound = tr.MaxLabel() // one sweep is unavoidable
-	case "kitem":
-		_, s, err = logpopt.KItemOptimalGeneral(m.L, m.P, *k)
-		if err != nil {
-			return fmt.Errorf("%w (try the greedy scheduler in the library for this instance)", err)
-		}
-		bound = logp.Time(logpopt.KItemBoundsFor(int(m.L), m.P, int64(*k)).SingleSending)
-	case "continuous":
-		var inst *logpopt.ContinuousInstance
-		inst, s, err = logpopt.ContinuousSolveGeneral(int(m.L), m.P-1, *k)
-		if err != nil {
-			return err
-		}
-		bound = logp.Time(inst.Delay() + *k - 1)
-	case "summation":
-		if *deadline <= 0 {
-			return errors.New("summation requires -t <deadline> (e.g. -t 28 for Figure 6)")
-		}
-		var pl *logpopt.SummationPlan
-		pl, err = summation.BuildWith(m, logp.Time(*deadline), tb)
-		if err != nil {
-			return err
-		}
-		s = pl.Schedule()
-		bound = logp.Time(*deadline)
-	default:
-		return fmt.Errorf("unknown op %q (want one of %v)", *op, ops)
-	}
+	s, bound := c.S, c.Bound
 
 	// The causal analysis feeds three consumers — the sampler's keep set,
 	// the run report's breakdown, and -explain — so it is computed at most
@@ -288,14 +225,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *explain {
 		rep := analyze()
-		if bound >= 0 {
-			r := rep.Achieved.Scaled(bound)
-			if ref != nil {
-				r = *ref
-			}
-			if err := rep.SetBound(bound, r); err != nil {
-				return err
-			}
+		if err := sched.ApplyBound(rep, c, m, tb); err != nil {
+			return err
 		}
 		if *render == "svg" {
 			fmt.Fprint(stdout, trace.SVGHighlight(s, rep.CriticalSet()))
@@ -306,7 +237,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	switch *render {
+	return renderSchedule(s, *render, stdout)
+}
+
+// renderSchedule writes s in the requested rendering — shared by the local
+// and -remote paths so both present schedules identically.
+func renderSchedule(s *logpopt.Schedule, render string, stdout io.Writer) error {
+	switch render {
 	case "json":
 		if err := s.WriteJSON(stdout); err != nil {
 			return cliutil.WriteError("schedule JSON", "stdout", err)
@@ -318,7 +255,61 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "svg":
 		fmt.Fprint(stdout, logpopt.TimelineSVG(s))
 	default:
-		return fmt.Errorf("unknown render %q (want json, gantt, table, or svg)", *render)
+		return fmt.Errorf("unknown render %q (want json, gantt, table, or svg)", render)
 	}
 	return nil
+}
+
+// runRemote is the thin-client mode: ask a running logpservd for the
+// schedule instead of solving locally. The service runs the identical
+// compile layer and serves the exact bytes its schedule.WriteJSON produced,
+// so `-remote -render json` output is byte-identical to a local solve —
+// which the servd smoke test diffs to prove the service is honest. Other
+// renders parse the fetched schedule and render locally.
+func runRemote(base, op, ctor string, m logp.Machine, k int, deadline logp.Time, render string, stdout io.Writer) error {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("-remote %q is not an absolute URL (want e.g. http://127.0.0.1:8080)", base)
+	}
+	q := url.Values{
+		"op":     {op},
+		"p":      {strconv.Itoa(m.P)},
+		"l":      {strconv.FormatInt(int64(m.L), 10)},
+		"o":      {strconv.FormatInt(int64(m.O), 10)},
+		"g":      {strconv.FormatInt(int64(m.G), 10)},
+		"format": {"schedule"},
+	}
+	if ctor != "" && ctor != "auto" {
+		q.Set("constructor", ctor)
+	}
+	if k != 1 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	if deadline != 0 {
+		q.Set("t", strconv.FormatInt(int64(deadline), 10))
+	}
+	u = u.JoinPath("/v1/schedule")
+	u.RawQuery = q.Encode()
+
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return fmt.Errorf("remote schedule: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("remote schedule: %s: %s", resp.Status, string(msg))
+	}
+	if render == "json" {
+		// Verbatim copy: the service's bytes ARE the deliverable.
+		if _, err := io.Copy(stdout, resp.Body); err != nil {
+			return cliutil.WriteError("schedule JSON", "stdout", err)
+		}
+		return nil
+	}
+	s, err := schedule.ReadJSON(resp.Body)
+	if err != nil {
+		return fmt.Errorf("remote schedule did not parse: %w", err)
+	}
+	return renderSchedule(s, render, stdout)
 }

@@ -1,0 +1,238 @@
+// Command servdsmoke is the end-to-end proof that a real logpservd process
+// behaves: it boots the daemon binary on an ephemeral port, waits for
+// /readyz, fires N concurrent identical cold requests and asserts the
+// singleflight collapsed them into exactly one solver run, checks the RED
+// series made it to /metrics, and shuts the process down with SIGTERM
+// expecting a clean exit. `make servd-smoke` builds the daemon and runs this
+// against it; CI runs the target on every push.
+//
+// With -sched pointing at a built logpsched, the smoke also diffs the CLI
+// and the service byte-for-byte: `logpsched -render json` solving locally
+// must emit exactly the bytes `logpsched -remote <url> -render json` fetches
+// from the daemon.
+//
+// Usage:
+//
+//	servdsmoke -bin ./logpservd [-sched ./logpsched] [-n 32]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"logpopt/internal/cliutil"
+)
+
+func main() {
+	bin := flag.String("bin", "", "`path` to the logpservd binary to smoke-test")
+	sched := flag.String("sched", "", "`path` to a logpsched binary; when set, diff its local solve against -remote byte-for-byte")
+	n := flag.Int("n", 32, "concurrent identical requests to fire at one cold key")
+	flag.Parse()
+	if *bin == "" {
+		cliutil.Fail("servdsmoke", fmt.Errorf("-bin is required (path to a built logpservd)"))
+	}
+	if err := smoke(*bin, *sched, *n); err != nil {
+		cliutil.Fail("servdsmoke", err)
+	}
+	fmt.Println("servd smoke: ok")
+}
+
+func smoke(bin, sched string, n int) error {
+	dir, err := os.MkdirTemp("", "servdsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addrFile := filepath.Join(dir, "servd.addr")
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-addrfile", addrFile)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", bin, err)
+	}
+	// If anything below fails, don't leave the daemon running.
+	exited := false
+	defer func() {
+		if !exited {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	}()
+
+	base, err := waitAddr(addrFile, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	if err := waitReady(base, 15*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("servd smoke: ready at %s\n", base)
+
+	// One cold key, n concurrent requests: the singleflight contract says
+	// the solver runs once and everyone else coalesces onto it (the warmup
+	// seeds P=64 and P=4096, so P=3000 is cold).
+	url := base + "/v1/schedule?op=broadcast&p=3000&schedule=false"
+	outcomes := make([]string, n)
+	errs := make([]error, n)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			var env struct {
+				Cache string `json:"cache"`
+			}
+			errs[i] = getJSON(url, &env)
+			outcomes[i] = env.Cache
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("request %d: %w", i, errs[i])
+		}
+		counts[outcomes[i]]++
+	}
+	if counts["miss"] != 1 {
+		return fmt.Errorf("%d concurrent cold requests produced %d solver runs, want exactly 1 (outcomes %v)", n, counts["miss"], counts)
+	}
+	fmt.Printf("servd smoke: %d concurrent requests -> 1 solve, %d coalesced, %d hits\n",
+		n, counts["coalesced"], counts["hit"])
+
+	// The cache's own ledger must agree: exactly 3 misses total (2 warmup
+	// solves + this one).
+	var cache struct {
+		Totals struct {
+			Misses    int64 `json:"misses"`
+			Coalesced int64 `json:"coalesced"`
+		} `json:"totals"`
+	}
+	if err := getJSON(base+"/debug/cache", &cache); err != nil {
+		return err
+	}
+	if cache.Totals.Misses != 3 {
+		return fmt.Errorf("/debug/cache reports %d misses, want 3 (two warmups + one smoke solve)", cache.Totals.Misses)
+	}
+
+	// The RED series for the schedule endpoint must be on /metrics.
+	metrics, err := getBody(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"logpopt_servd_http_schedule_requests_total",
+		"logpopt_servd_http_schedule_duration_us",
+		"logpopt_servd_cache_coalesced_total",
+		"logp_build_info",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metrics missing series %s", want)
+		}
+	}
+	fmt.Println("servd smoke: RED series present on /metrics")
+
+	// CLI/service agreement: a local solve and a -remote fetch of the same
+	// key must be byte-identical.
+	if sched != "" {
+		args := []string{"-op", "broadcast", "-P", "3000", "-render", "json"}
+		local, err := exec.Command(sched, args...).Output()
+		if err != nil {
+			return fmt.Errorf("local logpsched: %w", err)
+		}
+		remote, err := exec.Command(sched, append(args, "-remote", base)...).Output()
+		if err != nil {
+			return fmt.Errorf("remote logpsched: %w", err)
+		}
+		if string(local) != string(remote) {
+			return fmt.Errorf("logpsched output differs: local %d bytes, remote %d bytes", len(local), len(remote))
+		}
+		fmt.Println("servd smoke: logpsched -remote output byte-identical to local solve")
+	}
+
+	// Graceful shutdown: SIGTERM, clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signaling daemon: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		exited = true
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("daemon did not exit within 15s of SIGTERM")
+	}
+	fmt.Println("servd smoke: clean shutdown on SIGTERM")
+	return nil
+}
+
+// waitAddr polls the addrfile the daemon writes once listening.
+func waitAddr(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return "http://" + strings.TrimSpace(string(b)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never wrote %s within %s", path, timeout)
+}
+
+// waitReady polls /readyz until it answers 200.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("/readyz never answered 200 within %s", timeout)
+}
+
+// getJSON GETs url and decodes the body into out.
+func getJSON(url string, out any) error {
+	body, err := getBody(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(body), out)
+}
+
+// getBody GETs url, requiring 200.
+func getBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b), nil
+}

@@ -35,6 +35,9 @@ const (
 	RunstoreUsage = "archive the run report into the persistent run store at `dir`, " +
 		"keyed by (tool, op, constructor, machine) — the substrate for cmd/reportdiff " +
 		"and the /regimes view (default: off)"
+	RemoteUsage = "fetch the schedule from a running logpservd at `url` " +
+		"(e.g. http://127.0.0.1:8080) instead of solving locally; " +
+		"-render json emits the service's bytes verbatim (default: solve locally)"
 )
 
 // Machine validates the -P/-L/-o/-g flag values every tool accepts and

@@ -3,8 +3,54 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
+	"time"
 )
+
+// processStart anchors logp_process_uptime_seconds; captured at init so
+// every registry in the process reports the same uptime.
+var processStart = time.Now()
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// buildInfoLabels renders the label set of logp_build_info: the Go runtime
+// version plus, when the binary carries module metadata, the main module
+// path and version.
+func buildInfoLabels() string {
+	path, version := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			path = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+	}
+	return fmt.Sprintf(`go_version=%q,path=%q,version=%q`,
+		escapeLabel(runtime.Version()), escapeLabel(path), escapeLabel(version))
+}
+
+// writeProcessPreamble emits the process-identity series every exposition
+// starts with: logp_build_info (constant 1, identity in the labels) and
+// logp_process_uptime_seconds. These use the bare logp_ prefix — they
+// describe the process, not a logpopt_ registry metric.
+func writeProcessPreamble(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"# HELP logp_build_info Build information for this process; the value is always 1.\n"+
+			"# TYPE logp_build_info gauge\n"+
+			"logp_build_info{%s} 1\n"+
+			"# HELP logp_process_uptime_seconds Seconds since process start.\n"+
+			"# TYPE logp_process_uptime_seconds gauge\n"+
+			"logp_process_uptime_seconds %.3f\n",
+		buildInfoLabels(), time.Since(processStart).Seconds())
+	return err
+}
 
 // promName maps a dotted registry metric name to a valid Prometheus metric
 // name: the logpopt_ namespace prefix, with every character outside
@@ -29,10 +75,14 @@ func promName(name string) string {
 // high-water mark; histograms become summary series with p50/p90/p99
 // quantile labels plus `_sum` and `_count`. Output is sorted by kind then
 // name, like Snapshot, so it is deterministic for a given set of recorded
-// values. A nil registry writes nothing.
+// values. A nil registry writes nothing. Every exposition opens with the
+// process-identity preamble: logp_build_info and logp_process_uptime_seconds.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
+	}
+	if err := writeProcessPreamble(w); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	var cns, gns, hns []string

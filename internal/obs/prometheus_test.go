@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"fmt"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHistogramQuantiles(t *testing.T) {
@@ -51,11 +53,11 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 // promLine matches every legal non-empty line of the text exposition format
-// as we emit it: comments, or a sample with an optional single quantile
-// label and an integer value.
+// as we emit it: comments, or a sample with an optional label list and an
+// integer or decimal value.
 var promLine = regexp.MustCompile(
 	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
-		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="[0-9.]+"\})? -?[0-9]+)$`)
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?)$`)
 
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
@@ -112,6 +114,13 @@ func TestWritePrometheusGoldenNameReplacement(t *testing.T) {
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
+	// The first six lines are the process-identity preamble (build info and
+	// uptime), checked separately in TestWritePrometheusProcessPreamble; the
+	// registry metrics that follow are pinned exactly.
+	lines := strings.SplitN(b.String(), "\n", 7)
+	if len(lines) != 7 {
+		t.Fatalf("exposition shorter than the preamble:\n%s", b.String())
+	}
 	const golden = `# HELP logpopt_cache_hit_rate_total Counter "cache-hit%rate".
 # TYPE logpopt_cache_hit_rate_total counter
 logpopt_cache_hit_rate_total 1
@@ -125,7 +134,61 @@ logpopt_queue_depth_shard_3 5
 # TYPE logpopt_queue_depth_shard_3_max gauge
 logpopt_queue_depth_shard_3_max 5
 `
-	if b.String() != golden {
-		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	if lines[6] != golden {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", lines[6], golden)
+	}
+}
+
+// TestWritePrometheusProcessPreamble pins the process-identity series every
+// exposition opens with: logp_build_info (value 1, identity in labels) and
+// logp_process_uptime_seconds, each with HELP and TYPE lines.
+func TestWritePrometheusProcessPreamble(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP logp_build_info ",
+		"# TYPE logp_build_info gauge\n",
+		"# HELP logp_process_uptime_seconds ",
+		"# TYPE logp_process_uptime_seconds gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(out, "# HELP logp_build_info ") {
+		t.Errorf("build info is not the first series:\n%.200s", out)
+	}
+	bi := regexp.MustCompile(`(?m)^logp_build_info\{go_version="[^"]+",path="[^"]+",version="[^"]+"\} 1$`)
+	if !bi.MatchString(out) {
+		t.Errorf("logp_build_info sample malformed:\n%s", out)
+	}
+	up := regexp.MustCompile(`(?m)^logp_process_uptime_seconds [0-9]+\.[0-9]{3}$`)
+	if !up.MatchString(out) {
+		t.Errorf("logp_process_uptime_seconds sample malformed:\n%s", out)
+	}
+	// Uptime must be monotone across expositions.
+	m := up.FindString(out)
+	var first float64
+	fmt.Sscanf(m, "logp_process_uptime_seconds %f", &first)
+	time.Sleep(2 * time.Millisecond)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var second float64
+	fmt.Sscanf(up.FindString(b.String()), "logp_process_uptime_seconds %f", &second)
+	if second <= first {
+		t.Errorf("uptime not monotone: %f then %f", first, second)
+	}
+	// Every preamble line still satisfies the exposition grammar.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line fails Prometheus text grammar: %q", line)
+		}
 	}
 }

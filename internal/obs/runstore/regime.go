@@ -198,11 +198,18 @@ func RegimeSVG(cells []Cell) string {
 	return b.String()
 }
 
+// clip shortens s to at most n runes, ending in an ellipsis. Clipping by
+// runes, not bytes, keeps a multi-byte character from being split in half —
+// a byte-sliced label would embed invalid UTF-8 in the SVG document.
 func clip(s string, n int) string {
 	if len(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	runes := []rune(s)
+	if len(runes) <= n {
+		return s
+	}
+	return string(runes[:n-1]) + "…"
 }
 
 func xmlEscape(s string) string {

@@ -1,0 +1,59 @@
+package runstore
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"logpopt/internal/obs/report"
+)
+
+// TestClipRuneSafe: clip counts runes, not bytes — a label full of
+// multi-byte characters must never be cut mid-rune, which would embed
+// invalid UTF-8 in the regime SVG.
+func TestClipRuneSafe(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"short", 14, "short"},
+		{"exactly-14-ch.", 14, "exactly-14-ch."},
+		{"this-is-longer-than-fourteen", 14, "this-is-longe…"},
+		// 16 bytes of two-byte runes: byte-slicing at 13 would split µ.
+		{"µµµµµµµµ", 6, "µµµµµ…"},
+		// Mixed widths around the cut point.
+		{"aµbµcµdµeµfµgµh", 8, "aµbµcµd…"},
+		{"", 6, ""},
+	}
+	for _, tc := range cases {
+		got := clip(tc.in, tc.n)
+		if got != tc.want {
+			t.Errorf("clip(%q, %d) = %q, want %q", tc.in, tc.n, got, tc.want)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("clip(%q, %d) = %q is not valid UTF-8", tc.in, tc.n, got)
+		}
+		if utf8.RuneCountInString(got) > tc.n {
+			t.Errorf("clip(%q, %d) = %q has %d runes", tc.in, tc.n, got, utf8.RuneCountInString(got))
+		}
+	}
+}
+
+// TestRegimeSVGValidUTF8WithWideOps: an op name of multi-byte runes flows
+// through clip into the SVG; the document must stay valid UTF-8 end to end.
+func TestRegimeSVGValidUTF8WithWideOps(t *testing.T) {
+	e := Entry{
+		Key: Key{Tool: "test", Op: "бродкастбродкаст",
+			Machine: report.Machine{P: 8, L: 6, O: 2, G: 4}},
+		Seq: 1, Finish: 24, Bound: 24,
+	}
+	cells := []Cell{{Machine: e.Key.Machine, Best: e, Entries: []Entry{e}}}
+	svg := RegimeSVG(cells)
+	if !utf8.ValidString(svg) {
+		t.Fatal("RegimeSVG produced invalid UTF-8")
+	}
+	if !strings.Contains(svg, "…") {
+		t.Fatal("long multi-byte op name was not clipped with an ellipsis")
+	}
+}

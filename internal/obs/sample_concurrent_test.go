@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestSamplerConcurrentAdd hammers a sampled tracer from many goroutines —
+// spans, instants, counters, metas, Sampled queries, and a mid-flight
+// SetSampler swap — exactly the shape logpservd produces when concurrent
+// requests record spans while Prometheus scrapes pull WriteJSON. Run under
+// -race this pins that samplerState's counter thinning (a map mutated inside
+// keep) stays inside the tracer's lock.
+func TestSamplerConcurrentAdd(t *testing.T) {
+	const (
+		pid     = 5
+		workers = 16
+		perG    = 200
+	)
+	tr := NewTracer()
+	tr.SetSampler(pid, NewSampler(4, 99, 0))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tid := w*perG + i
+				tr.NameThread(pid, tid, "req")
+				tr.Span(pid, tid, "schedule", int64(i), 3, A("i", i))
+				tr.Instant(pid, tid, "mark", int64(i))
+				tr.Counter(pid, "inflight", int64(i), int64(i%8))
+				_ = tr.Sampled(pid, tid)
+			}
+		}(w)
+	}
+	// Concurrent readers: WriteJSON renders a snapshot while writers add.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := tr.WriteJSON(discard{}); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+				return
+			}
+		}
+	}()
+	// A policy swap mid-flight must also be safe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr.SetSampler(pid, NewSampler(8, 7, 0))
+	}()
+	wg.Wait()
+
+	// The surviving document must still be valid trace JSON, and every
+	// span's tid must be one a keep rule could have admitted (the keep set
+	// or one of the two policies' hash classes).
+	b := traceBytes(t, tr)
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("sampled trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("sampled trace is empty")
+	}
+	admitted := func(tid int) bool {
+		if tid == 0 {
+			return true
+		}
+		return splitmix64(99^uint64(int64(tid)))%4 == 0 ||
+			splitmix64(7^uint64(int64(tid)))%8 == 0
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && !admitted(ev.Tid) {
+			t.Fatalf("span on tid %d survived though no active policy admits it", ev.Tid)
+		}
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("sampler at Every=4 over 3200 tids dropped nothing")
+	}
+}
+
+// discard is an io.Writer swallowing concurrent WriteJSON renders.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,144 @@
+// Header-hygiene assertions for every serve endpoint: each response must
+// declare a correct Content-Type (with charset where text rides along) and
+// carry X-Content-Type-Options: nosniff — several handlers reflect
+// query-derived strings (compare errors, run names), so a response a browser
+// is allowed to sniff is a response it can be tricked into rendering.
+
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"logpopt/internal/logp"
+	"logpopt/internal/obs"
+	"logpopt/internal/obs/report"
+)
+
+// headerServer builds a server with every surface populated: a trace, a
+// run report, a run store, and a mounted external handler.
+func headerServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(obs.NewRegistry())
+	if err := s.AddTrace("t.json", []byte(`{"traceEvents":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	m := logp.MustNew(8, 6, 2, 4)
+	if err := s.AddReport("r.json", report.New("test", m)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := storeWithRuns(t)
+	s.SetStore(st)
+	if err := s.Mount("/v1/ping", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("pong\n")) //nolint:errcheck
+	}), "test mount"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestContentTypeTable pins the Content-Type of every endpoint, including
+// the error paths that echo request-derived strings.
+func TestContentTypeTable(t *testing.T) {
+	h := headerServer(t).Handler()
+	cases := []struct {
+		path string
+		code int
+		ct   string
+	}{
+		{"/", 200, "text/plain; charset=utf-8"},
+		{"/metrics", 200, "text/plain; version=0.0.4; charset=utf-8"},
+		{"/traces/", 200, "text/plain; charset=utf-8"},
+		{"/traces/t.json", 200, "application/json"},
+		{"/timeseries", 200, "application/json"},
+		{"/runs/", 200, "text/plain; charset=utf-8"},
+		{"/runs/r.json", 200, "application/json"},
+		{"/compare?a=r.json&b=r.json", 200, "text/plain; charset=utf-8"},
+		{"/compare?a=r.json&b=r.json&format=json", 200, "application/json"},
+		// Error path reflecting a query-derived run name.
+		{"/compare?a=%3Cimg%20src%3Dx%3E&b=r.json", 404, "text/plain; charset=utf-8"},
+		{"/regimes", 200, "text/html; charset=utf-8"},
+		// The SVG embeds UTF-8 label text (clipped keys end in an ellipsis),
+		// so the charset must be declared alongside the media type.
+		{"/regimes?format=svg", 200, "image/svg+xml; charset=utf-8"},
+		{"/dashboard", 200, "text/html; charset=utf-8"},
+		{"/v1/ping", 200, "text/plain; charset=utf-8"},
+		{"/nope", 404, "text/plain; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		code, _, hdr := get(t, h, tc.path)
+		if code != tc.code {
+			t.Errorf("%s: code %d, want %d", tc.path, code, tc.code)
+		}
+		if ct := hdr.Get("Content-Type"); ct != tc.ct {
+			t.Errorf("%s: Content-Type %q, want %q", tc.path, ct, tc.ct)
+		}
+	}
+}
+
+// TestNosniffEverywhere: every response, success or error, opts out of MIME
+// sniffing.
+func TestNosniffEverywhere(t *testing.T) {
+	h := headerServer(t).Handler()
+	for _, path := range []string{
+		"/", "/metrics", "/traces/", "/traces/t.json", "/timeseries",
+		"/runs/", "/runs/r.json", "/compare", "/compare?a=x&b=y",
+		"/regimes", "/regimes?format=svg", "/dashboard", "/v1/ping", "/nope",
+	} {
+		_, _, hdr := get(t, h, path)
+		if got := hdr.Get("X-Content-Type-Options"); got != "nosniff" {
+			t.Errorf("%s: X-Content-Type-Options = %q, want nosniff", path, got)
+		}
+	}
+}
+
+// TestCompareReflectedNameIsInert: the /compare error path echoes the run
+// names the caller supplied; with text/plain + nosniff the payload is inert,
+// and the body must stay valid UTF-8.
+func TestCompareReflectedNameIsInert(t *testing.T) {
+	h := headerServer(t).Handler()
+	code, body, hdr := get(t, h, "/compare?a=%3Cscript%3Ealert(1)%3C/script%3E&b=r.json")
+	if code != 404 {
+		t.Fatalf("code = %d, want 404", code)
+	}
+	if !strings.Contains(body, "<script>") {
+		t.Fatalf("error body no longer names the missing run: %q", body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("reflected error served as %q — must be text/plain so the markup is inert", ct)
+	}
+	if hdr.Get("X-Content-Type-Options") != "nosniff" {
+		t.Fatal("reflected error response missing nosniff")
+	}
+	if !utf8.ValidString(body) {
+		t.Fatal("error body is not valid UTF-8")
+	}
+}
+
+func TestMountValidation(t *testing.T) {
+	s := New(obs.NewRegistry())
+	ok := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	if err := s.Mount("/metrics", ok, "x"); err == nil {
+		t.Fatal("mounting a reserved pattern succeeded")
+	}
+	if err := s.Mount("no-slash", ok, "x"); err == nil {
+		t.Fatal("mounting a pattern without / succeeded")
+	}
+	if err := s.Mount("/v1/a", nil, "x"); err == nil {
+		t.Fatal("mounting a nil handler succeeded")
+	}
+	if err := s.Mount("/v1/a", ok, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount("/v1/a", ok, "x"); err == nil {
+		t.Fatal("double-mount succeeded")
+	}
+	// The index lists the mount with its description.
+	_, body, _ := get(t, s.Handler(), "/")
+	if !strings.Contains(body, "/v1/a") {
+		t.Fatalf("index does not list the mount:\n%s", body)
+	}
+}

@@ -41,9 +41,18 @@ type Server struct {
 	runs    map[string][]byte
 	store   *runstore.Store
 	ts      *timeseries.Collector
+	mounts  []mount
 	closers []func()
 	ln      net.Listener
 	srv     *http.Server
+}
+
+// mount is an externally supplied handler merged into the routing table,
+// with the one-line description the index page shows for it.
+type mount struct {
+	pattern string
+	desc    string
+	handler http.Handler
 }
 
 // New returns a server exposing reg. A nil reg serves the process-wide
@@ -151,6 +160,50 @@ func (s *Server) OnClose(fn func()) {
 	s.mu.Unlock()
 }
 
+// Mount merges an externally supplied handler into the routing table under
+// pattern (an http.ServeMux pattern, e.g. "/v1/schedule"), listing it on the
+// index page with desc. cmd/logpservd mounts its API this way so the
+// scheduling endpoints and the telemetry endpoints share one listener, one
+// routing table, and one graceful shutdown. Mount must be called before
+// Handler or Start; mounting a pattern twice, or one of the server's own
+// patterns, returns an error.
+func (s *Server) Mount(pattern string, h http.Handler, desc string) error {
+	if pattern == "" || pattern[0] != '/' {
+		return fmt.Errorf("serve: mount pattern %q must start with /", pattern)
+	}
+	if h == nil {
+		return fmt.Errorf("serve: nil handler for %s", pattern)
+	}
+	reserved := []string{
+		"/", "/metrics", "/traces/", "/timeseries", "/runs/",
+		"/compare", "/regimes", "/dashboard", "/debug/pprof/",
+	}
+	for _, r := range reserved {
+		if pattern == r {
+			return fmt.Errorf("serve: pattern %s is reserved", pattern)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.mounts {
+		if m.pattern == pattern {
+			return fmt.Errorf("serve: pattern %s already mounted", pattern)
+		}
+	}
+	s.mounts = append(s.mounts, mount{pattern: pattern, desc: desc, handler: h})
+	return nil
+}
+
+// nosniff stamps X-Content-Type-Options on every response. Several handlers
+// reflect query-derived strings (compare errors, run names), so the whole
+// surface opts out of MIME sniffing rather than auditing each write site.
+func nosniff(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Handler returns the routing table. It is also what Start serves.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -167,7 +220,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	s.mu.Lock()
+	for _, m := range s.mounts {
+		mux.Handle(m.pattern, m.handler)
+	}
+	s.mu.Unlock()
+	return nosniff(mux)
 }
 
 // Start listens on addr (":0" picks a free port) and serves in a background
@@ -224,6 +282,17 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "/compare       diff two runs: /compare?a=<run>&b=<run> (names from /runs/)\n")
 	fmt.Fprintf(w, "/regimes       regime map and per-key history of the attached run store\n")
 	fmt.Fprintf(w, "/dashboard     live sparkline dashboard over /timeseries\n")
+	s.mu.Lock()
+	mounts := make([]mount, len(s.mounts))
+	copy(mounts, s.mounts)
+	s.mu.Unlock()
+	if len(mounts) > 0 {
+		sort.Slice(mounts, func(i, j int) bool { return mounts[i].pattern < mounts[j].pattern })
+		fmt.Fprintf(w, "\nmounted:\n")
+		for _, m := range mounts {
+			fmt.Fprintf(w, "%-14s %s\n", m.pattern, m.desc)
+		}
+	}
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {

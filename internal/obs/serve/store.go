@@ -88,7 +88,9 @@ func (s *Server) regimes(w http.ResponseWriter, req *http.Request) {
 	cells := st.Regimes()
 	svg := runstore.RegimeSVG(cells)
 	if req.URL.Query().Get("format") == "svg" {
-		w.Header().Set("Content-Type", "image/svg+xml")
+		// The SVG carries UTF-8 text (ellipses from clipped key labels), so
+		// the charset must ride along with the media type.
+		w.Header().Set("Content-Type", "image/svg+xml; charset=utf-8")
 		fmt.Fprint(w, svg)
 		return
 	}

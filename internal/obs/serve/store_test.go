@@ -148,7 +148,7 @@ func TestRegimes(t *testing.T) {
 	}
 
 	code, body, hdr = get(t, h, "/regimes?format=svg")
-	if code != 200 || hdr.Get("Content-Type") != "image/svg+xml" {
+	if code != 200 || hdr.Get("Content-Type") != "image/svg+xml; charset=utf-8" {
 		t.Fatalf("regimes svg: code %d type %q", code, hdr.Get("Content-Type"))
 	}
 	if !strings.HasPrefix(body, "<svg") || strings.Contains(body, "<html") {

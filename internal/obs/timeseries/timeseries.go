@@ -209,10 +209,12 @@ func (c *Collector) Start(interval time.Duration) (stop func()) {
 	}
 	start := time.Now()
 	ch := make(chan struct{})
+	done := make(chan struct{})
 	c.mu.Lock()
 	c.stop = ch
 	c.mu.Unlock()
 	go func() {
+		defer close(done)
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for {
@@ -220,6 +222,14 @@ func (c *Collector) Start(interval time.Duration) (stop func()) {
 			case <-ch:
 				return
 			case <-tick.C:
+				// When a tick and the stop signal are both ready, select
+				// picks arbitrarily; re-check stop so a closed channel
+				// always wins and no tick samples after it.
+				select {
+				case <-ch:
+					return
+				default:
+				}
 				c.Sample(time.Since(start).Microseconds())
 			}
 		}
@@ -228,6 +238,9 @@ func (c *Collector) Start(interval time.Duration) (stop func()) {
 	return func() {
 		once.Do(func() {
 			close(ch)
+			// Wait for the sampler goroutine to exit so the final sample
+			// below is truly final: once stop returns, Samples() is stable.
+			<-done
 			c.Sample(time.Since(start).Microseconds())
 		})
 	}

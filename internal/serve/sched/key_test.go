@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"logpopt/internal/logtime"
+)
+
+func TestCanonicalizeEquivalences(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Request
+		same bool
+	}{
+		{
+			// Postal ops ignore o and g entirely.
+			name: "kitem forces postal machine",
+			a:    Request{Op: "kitem", P: 8, L: 5, O: 2, G: 4, K: 3},
+			b:    Request{Op: "kitem", P: 8, L: 5, O: 9, G: 7, K: 3},
+			same: true,
+		},
+		{
+			// Broadcast never reads k; any value is the same question.
+			name: "broadcast ignores k",
+			a:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 7},
+			b:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1},
+			same: true,
+		},
+		{
+			// Only summation consumes a deadline.
+			name: "broadcast ignores t",
+			a:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1, Deadline: 30},
+			b:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1},
+			same: true,
+		},
+		{
+			// "auto" resolves to a concrete constructor, so naming that
+			// constructor explicitly is the same cache entry.
+			name: "auto resolves to search below threshold",
+			a:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1, Constructor: "auto"},
+			b:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1, Constructor: "search"},
+			same: true,
+		},
+		{
+			name: "near-miss L differs",
+			a:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1},
+			b:    Request{Op: "broadcast", P: 16, L: 7, O: 2, G: 4, K: 1},
+			same: false,
+		},
+		{
+			name: "near-miss P differs",
+			a:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1},
+			b:    Request{Op: "broadcast", P: 17, L: 6, O: 2, G: 4, K: 1},
+			same: false,
+		},
+		{
+			name: "kitem distinguishes k",
+			a:    Request{Op: "kitem", P: 8, L: 5, K: 3},
+			b:    Request{Op: "kitem", P: 8, L: 5, K: 4},
+			same: false,
+		},
+		{
+			name: "empty op defaults to broadcast",
+			a:    Request{P: 16, L: 6, O: 2, G: 4, K: 1},
+			b:    Request{Op: "broadcast", P: 16, L: 6, O: 2, G: 4, K: 1},
+			same: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, err := Canonicalize(tc.a, "")
+			if err != nil {
+				t.Fatalf("Canonicalize(a): %v", err)
+			}
+			kb, err := Canonicalize(tc.b, "")
+			if err != nil {
+				t.Fatalf("Canonicalize(b): %v", err)
+			}
+			if (ka == kb) != tc.same {
+				t.Fatalf("keys %q and %q: same=%v, want %v", ka, kb, ka == kb, tc.same)
+			}
+			if tc.same && ka.Shard(16) != kb.Shard(16) {
+				t.Fatalf("equal keys landed on different shards: %d vs %d", ka.Shard(16), kb.Shard(16))
+			}
+		})
+	}
+}
+
+func TestCanonicalizeAutoThreshold(t *testing.T) {
+	big, err := Canonicalize(Request{Op: "broadcast", P: logtime.DefaultThreshold, L: 6, O: 2, G: 4, K: 1}, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Constructor != "logtime" {
+		t.Fatalf("auto at P=%d resolved to %q, want logtime", logtime.DefaultThreshold, big.Constructor)
+	}
+	small, err := Canonicalize(Request{Op: "broadcast", P: logtime.DefaultThreshold - 1, L: 6, O: 2, G: 4, K: 1}, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Constructor != "search" {
+		t.Fatalf("auto at P=%d resolved to %q, want search", logtime.DefaultThreshold-1, small.Constructor)
+	}
+}
+
+func TestCanonicalizeClearsConstructorForNonTreeOps(t *testing.T) {
+	k, err := Canonicalize(Request{Op: "alltoall", P: 8, L: 6, O: 2, G: 4, K: 2, Constructor: "logtime"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Constructor != "" {
+		t.Fatalf("alltoall kept constructor %q; non-tree ops must clear it", k.Constructor)
+	}
+}
+
+func TestCanonicalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"unknown op", Request{Op: "sideways", P: 4, L: 6, O: 2, G: 4}, "unknown op"},
+		{"bad P", Request{Op: "broadcast", P: 0, L: 6, O: 2, G: 4}, "p must be"},
+		{"bad L", Request{Op: "broadcast", P: 4, L: 0, O: 2, G: 4}, "l must be"},
+		{"bad k", Request{Op: "kitem", P: 4, L: 5, K: 0}, "k must be"},
+		{"summation needs t", Request{Op: "summation", P: 4, L: 6, O: 2, G: 4}, "deadline"},
+		{"bad constructor", Request{Op: "broadcast", P: 4, L: 6, O: 2, G: 4, Constructor: "quantum"}, "constructor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Canonicalize(tc.req, "")
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k, err := Canonicalize(Request{Op: "summation", P: 8, L: 6, O: 2, G: 4, Deadline: 28}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := k.String(), "summation/search/P8/L6/o2/g4/t28"; got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+	k2, err := Canonicalize(Request{Op: "kitem", P: 8, L: 5, K: 3}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := k2.String(), "kitem/P8/L5/o0/g1/k3"; got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q := map[string]string{"op": "broadcast", "p": "16", "l": "9"}
+	req, err := ParseQuery(func(k string) string { return q[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.P != 16 || req.L != 9 || req.O != 2 || req.G != 4 || req.K != 1 {
+		t.Fatalf("defaults not applied: %+v", req)
+	}
+
+	if _, err := ParseQuery(func(k string) string { return map[string]string{"op": "broadcast"}[k] }); err == nil || !strings.Contains(err.Error(), "p is required") {
+		t.Fatalf("missing p: err = %v", err)
+	}
+	if _, err := ParseQuery(func(k string) string { return map[string]string{"p": "16", "l": "soon"}[k] }); err == nil || !strings.Contains(err.Error(), `l="soon"`) {
+		t.Fatalf("bad l: err = %v", err)
+	}
+}
